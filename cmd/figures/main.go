@@ -1,0 +1,162 @@
+// Command figures regenerates the paper's evaluation artifacts: Figure 11
+// (profiling/analysis overhead), Figure 12 (prefetching performance),
+// Table 2 (detailed characterization), the §4.3 head-length ablation, and
+// the §5.1 hardware prefetcher comparison.
+//
+// Usage:
+//
+//	figures [-fig 11|12] [-table 2] [-ablation headlen|hardware] [-bench name] [-all]
+//
+// With no flags, -all is assumed. Each artifact prints the corresponding
+// paper values alongside so the shapes can be compared directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hotprefetch/internal/experiment"
+	"hotprefetch/internal/stats"
+	"hotprefetch/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	fig := flag.Int("fig", 0, "regenerate figure 11 or 12")
+	table := flag.Int("table", 0, "regenerate table 2")
+	ablation := flag.String("ablation", "", "run an ablation: headlen, hardware, static, schedule, hybrid, stability, motivation, or reuse")
+	bench := flag.String("bench", "", "restrict to one benchmark (default: all six)")
+	all := flag.Bool("all", false, "regenerate everything")
+	format := flag.String("format", "text", "output format for figures/tables: text, csv, or chart")
+	flag.Parse()
+
+	if *fig == 0 && *table == 0 && *ablation == "" {
+		*all = true
+	}
+
+	var params []workload.Params
+	if *bench != "" {
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		params = []workload.Params{p}
+	}
+
+	csv := *format == "csv"
+	chartFmt := *format == "chart"
+	if *format != "text" && *format != "csv" && *format != "chart" {
+		log.Fatalf("unknown format %q", *format)
+	}
+	if *all || *fig == 11 {
+		runs, err := experiment.Figure11(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case csv:
+			fmt.Print(stats.CSVFigure11(runs))
+		case chartFmt:
+			fmt.Println(stats.ChartFigure11(runs))
+		default:
+			fmt.Println(stats.RenderFigure11(runs))
+		}
+	}
+	if *all || *fig == 12 {
+		runs, err := experiment.Figure12(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case csv:
+			fmt.Print(stats.CSVFigure12(runs))
+		case chartFmt:
+			fmt.Println(stats.ChartFigure12(runs))
+		default:
+			fmt.Println(stats.RenderFigure12(runs))
+		}
+	}
+	if *all || *table == 2 {
+		runs, err := experiment.Table2(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if csv {
+			fmt.Print(stats.CSVTable2(runs))
+		} else {
+			fmt.Println(stats.RenderTable2(runs))
+		}
+	}
+	if *all || *ablation == "headlen" {
+		p := workload.Vpr()
+		if len(params) == 1 {
+			p = params[0]
+		}
+		results, err := experiment.AblationHeadLen(p, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderHeadLen(p.Name, results))
+	}
+	if *all || *ablation == "hardware" {
+		results, err := experiment.HardwareComparison(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderHardware(results))
+	}
+	if *all || *ablation == "static" {
+		results, err := experiment.StaticVsDynamic(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderStaticDyn(results))
+	}
+	if *all || *ablation == "schedule" {
+		p := workload.Mcf()
+		if len(params) == 1 {
+			p = params[0]
+		}
+		results, err := experiment.AblationScheduling(p, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderScheduling(p.Name, results))
+	}
+	if *all || *ablation == "hybrid" {
+		results, err := experiment.HybridComparison(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderHybrid(results))
+	}
+	if *all || *ablation == "stability" {
+		results, err := experiment.ProfileStability(params, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderStability(results))
+	}
+	if *all || *ablation == "motivation" {
+		results, err := experiment.Motivation(params, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderMotivation(results))
+	}
+	if *all || *ablation == "reuse" {
+		results, err := experiment.ReuseDistances(params, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderReuse(results))
+	}
+	if !*all && *fig != 0 && *fig != 11 && *fig != 12 {
+		fmt.Fprintln(os.Stderr, "only figures 11 and 12 exist in the paper")
+		os.Exit(2)
+	}
+}

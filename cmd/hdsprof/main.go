@@ -1,0 +1,180 @@
+// Command hdsprof profiles a benchmark's data reference stream offline and
+// prints its hot data streams: the output of the paper's §2 pipeline
+// (bursty-tracing sample -> Sequitur -> fast hot data stream analysis)
+// without the optimization back end.
+//
+// Usage:
+//
+//	hdsprof -bench mcf [-refs 200000] [-precise] [-top 20]
+//	hdsprof -bench mcf -save trace.hds     # capture the trace to a file
+//	hdsprof -load trace.hds                # analyze a previously saved trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"hotprefetch"
+	"hotprefetch/internal/dfsm"
+	"hotprefetch/internal/machine"
+	"hotprefetch/internal/ref"
+	"hotprefetch/internal/tracefile"
+	"hotprefetch/internal/workload"
+)
+
+// collector records every executed data reference until its budget runs out.
+type collector struct {
+	profile *hotprefetch.Profile
+	raw     []ref.Ref // kept when the trace will be saved
+	keepRaw bool
+	budget  int
+	machine *machine.Machine
+}
+
+func (c *collector) Check(pc int) (machine.Version, uint64) {
+	return machine.VersionInstrumented, 0
+}
+
+func (c *collector) TraceRef(pc int, addr machine.Word, isWrite bool) uint64 {
+	c.profile.Add(hotprefetch.Ref{PC: pc, Addr: addr})
+	if c.keepRaw {
+		c.raw = append(c.raw, ref.Ref{PC: pc, Addr: addr})
+	}
+	c.budget--
+	if c.budget <= 0 {
+		c.machine.Yield()
+	}
+	return 0
+}
+
+func (c *collector) Match(pc int, addr machine.Word) ([]machine.Word, uint64) {
+	return nil, 0
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hdsprof: ")
+
+	bench := flag.String("bench", "mcf", "benchmark to profile")
+	refs := flag.Int("refs", 200000, "number of data references to trace")
+	precise := flag.Bool("precise", false, "use the exact (Larus-style) detector instead of the fast approximation")
+	top := flag.Int("top", 20, "streams to print")
+	save := flag.String("save", "", "write the captured trace to this file")
+	load := flag.String("load", "", "analyze a saved trace instead of profiling a benchmark")
+	dot := flag.String("dot", "", "write the prefix-matching DFSM for the streams as Graphviz DOT")
+	headLen := flag.Int("headlen", 2, "prefix length for the -dot DFSM")
+	flag.Parse()
+
+	col := &collector{profile: hotprefetch.NewProfile(), budget: *refs, keepRaw: *save != ""}
+	name := *bench
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err := tracefile.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range trace {
+			col.profile.Add(hotprefetch.Ref{PC: r.PC, Addr: r.Addr})
+		}
+		name = *load
+	} else {
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *bench)
+		}
+		inst := workload.Build(p)
+		m := inst.NewMachine(workload.CacheConfig(), true)
+		col.machine = m
+		m.RT = col
+
+		m.Start()
+		for col.budget > 0 {
+			st, err := m.Run(0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if st == machine.Halted {
+				break
+			}
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracefile.Write(f, col.raw); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %d references to %s\n", len(col.raw), *save)
+	}
+
+	cfg := hotprefetch.DefaultAnalysisConfig()
+	var streams []hotprefetch.Stream
+	if *precise {
+		streams = col.profile.HotStreamsPrecise(cfg)
+	} else {
+		streams = col.profile.HotStreams(cfg)
+	}
+
+	traceLen := col.profile.Len()
+	fmt.Printf("source       %s\n", name)
+	fmt.Printf("traced refs  %d\n", traceLen)
+	fmt.Printf("grammar size %d symbols\n", col.profile.GrammarSize())
+	fmt.Printf("hot streams  %d\n\n", len(streams))
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeDOT(f, streams, *headLen); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote DFSM to %s\n", *dot)
+	}
+
+	for i, s := range streams {
+		if i >= *top {
+			fmt.Printf("... and %d more\n", len(streams)-*top)
+			break
+		}
+		fmt.Printf("#%-3d len=%-4d heat=%-7d coverage=%5.2f%%  head: ", i+1, len(s.Refs), s.Heat, 100*s.Coverage(traceLen))
+		for j, r := range s.Refs {
+			if j == 4 {
+				fmt.Print("...")
+				break
+			}
+			fmt.Printf("(pc%d,0x%x) ", r.PC, r.Addr)
+		}
+		fmt.Println()
+	}
+}
+
+// writeDOT builds the combined prefix-matching DFSM for the streams and
+// renders it as Graphviz DOT.
+func writeDOT(w io.Writer, streams []hotprefetch.Stream, headLen int) error {
+	split := make([]dfsm.Stream, 0, len(streams))
+	for _, s := range streams {
+		rs := make([]ref.Ref, len(s.Refs))
+		for i, r := range s.Refs {
+			rs[i] = ref.Ref{PC: r.PC, Addr: r.Addr}
+		}
+		split = append(split, dfsm.Split(rs, s.Heat, headLen))
+	}
+	return dfsm.Build(split, headLen).WriteDOT(w)
+}

@@ -1,0 +1,87 @@
+// Command prefetchsim simulates one benchmark under one evaluation mode and
+// prints a run report: execution time versus the unoptimized baseline,
+// optimization cycle activity, and cache behaviour.
+//
+// Usage:
+//
+//	prefetchsim -bench vpr -mode dyn-pref
+//
+// Modes: base, prof, hds, no-pref, seq-pref, dyn-pref (paper Figures 11/12).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hotprefetch"
+	"hotprefetch/internal/experiment"
+	"hotprefetch/internal/opt"
+	"hotprefetch/internal/workload"
+)
+
+var modes = map[string]hotprefetch.Mode{
+	"base":     hotprefetch.ModeBase,
+	"prof":     hotprefetch.ModeProfile,
+	"hds":      hotprefetch.ModeHds,
+	"no-pref":  hotprefetch.ModeNoPref,
+	"seq-pref": hotprefetch.ModeSeqPref,
+	"dyn-pref": hotprefetch.ModeDynPref,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("prefetchsim: ")
+
+	bench := flag.String("bench", "mcf", "benchmark to run (vpr, mcf, twolf, parser, vortex, boxsim)")
+	modeName := flag.String("mode", "dyn-pref", "evaluation mode (base, prof, hds, no-pref, seq-pref, dyn-pref)")
+	events := flag.Bool("events", false, "print the optimizer's decision log while running")
+	flag.Parse()
+
+	mode, ok := modes[*modeName]
+	if !ok {
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+	if *events {
+		runWithEvents(*bench, mode)
+		return
+	}
+	rep, err := hotprefetch.RunBenchmark(*bench, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark            %s\n", rep.Benchmark)
+	fmt.Printf("mode                 %s\n", rep.Mode)
+	fmt.Printf("baseline cycles      %d\n", rep.BaselineCycles)
+	fmt.Printf("execution cycles     %d\n", rep.ExecCycles)
+	fmt.Printf("overhead             %+.2f%% (negative = speedup)\n", rep.OverheadPct)
+	fmt.Printf("optimization cycles  %d\n", rep.OptCycles)
+	if rep.OptCycles > 0 {
+		fmt.Printf("traced refs/cycle    %d\n", rep.TracedRefsPerCycle)
+		fmt.Printf("hot streams/cycle    %d\n", rep.HotStreamsPerCycle)
+		fmt.Printf("DFSM                 <%d states, %d checks>\n", rep.DFSMStates, rep.DFSMTransitions)
+		fmt.Printf("procs modified/cycle %d\n", rep.ProcsModified)
+	}
+	fmt.Printf("L1 miss ratio        %.3f\n", rep.L1MissRatio)
+	fmt.Printf("prefetches issued    %d (useful: %d)\n", rep.Prefetches, rep.UsefulPrefetches)
+}
+
+// runWithEvents reruns the benchmark with the optimizer's decision log
+// streaming to stdout — the observable version of the Figure-1 cycle.
+func runWithEvents(bench string, mode hotprefetch.Mode) {
+	p, ok := workload.ByName(bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", bench)
+	}
+	inst := workload.Build(p)
+	m := inst.NewMachine(workload.CacheConfig(), true)
+	o := opt.New(m, experiment.OptConfig(opt.Mode(mode)))
+	o.SetEventSink(func(e opt.Event) { fmt.Println(e) })
+	if err := m.RunToCompletion(); err != nil {
+		log.Fatal(err)
+	}
+	res := o.Result()
+	fmt.Printf("done: %d optimization cycles, %d cycles executed\n",
+		res.OptCycles(), res.ExecCycles)
+}

@@ -1,0 +1,78 @@
+// Command seqdump builds the Sequitur grammar for a string and prints it in
+// the paper's Figure 4 style, together with the hot data stream analysis
+// values of Figure 6 / Table 1.
+//
+// Usage:
+//
+//	seqdump [-heat 8] [-minlen 2] [-maxlen 7] [string]
+//
+// With no argument it uses the paper's worked example, w = abaabcabcabcabc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"hotprefetch/internal/hotds"
+	"hotprefetch/internal/sequitur"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seqdump: ")
+
+	heat := flag.Uint64("heat", 8, "heat threshold H")
+	minLen := flag.Uint64("minlen", 2, "minimum stream length")
+	maxLen := flag.Uint64("maxlen", 7, "maximum stream length")
+	flag.Parse()
+
+	w := "abaabcabcabcabc" // paper Figure 4
+	if flag.NArg() > 0 {
+		w = flag.Arg(0)
+	}
+	for _, c := range w {
+		if c < 'a' || c > 'z' {
+			log.Fatalf("input must be lowercase letters, got %q", c)
+		}
+	}
+
+	g := sequitur.New()
+	for _, c := range w {
+		g.Append(uint64(c - 'a'))
+	}
+	snap := g.Snapshot()
+
+	fmt.Printf("input (%d symbols): %s\n\n", len(w), w)
+	fmt.Println("Sequitur grammar (paper Figure 4):")
+	fmt.Print(snap.String())
+
+	cfg := hotds.Config{MinLen: *minLen, MaxLen: *maxLen, Heat: *heat}
+	streams, stats := hotds.AnalyzeDetailed(snap, cfg)
+
+	fmt.Printf("\nAnalysis values (paper Table 1), H=%d, minLen=%d, maxLen=%d:\n", *heat, *minLen, *maxLen)
+	fmt.Println("rule  word              length  index  uses  coldUses  heat  hot?")
+	for _, st := range stats {
+		word := wordString(snap.Expand(st.Rule))
+		if len(word) > 16 {
+			word = word[:13] + "..."
+		}
+		fmt.Printf("%-5d %-17s %-7d %-6d %-5d %-9d %-5d %v\n",
+			st.Rule, word, st.Len, st.Index, st.Uses, st.ColdUses, st.Heat, st.Hot)
+	}
+
+	fmt.Printf("\nHot data streams (%d):\n", len(streams))
+	for _, s := range streams {
+		fmt.Printf("  %s  heat=%d  coverage=%.0f%%\n",
+			wordString(s.Word), s.Heat, 100*s.Coverage(uint64(len(w))))
+	}
+}
+
+func wordString(word []uint64) string {
+	var b strings.Builder
+	for _, v := range word {
+		b.WriteByte(byte('a' + v))
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+// Customasm: write your own program in the virtual ISA's assembly and run
+// it under the complete dynamic prefetching system — static instrumentation,
+// bursty-tracing profiling, online analysis, code injection, hibernation —
+// using the public vm package, then compare against its unoptimized
+// execution.
+//
+//	go run ./examples/customasm
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hotprefetch/vm"
+)
+
+// The program: 600 laps over two scattered linked lists. Each traversal is
+// a hot data stream; the working set thrashes the small cache configured
+// below.
+const source = `
+proc main
+  const r1, 600
+laps:
+  call walk_a
+  call walk_b
+  loop r1, laps
+  ret
+
+proc walk_a
+  const r2, 16        ; head slot of list A
+  load r3, [r2+0]
+chase_a:
+  load r3, [r3+0]     ; r3 = r3->next
+  arith 2
+  bnez r3, chase_a
+  ret
+
+proc walk_b
+  const r2, 24        ; head slot of list B
+  load r3, [r2+0]
+chase_b:
+  load r3, [r3+0]
+  arith 2
+  bnez r3, chase_b
+  ret
+`
+
+func main() {
+	prog, err := vm.Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	m := vm.NewMachine(prog, vm.MachineConfig{
+		HeapWords: 1 << 14,
+		Cache: vm.CacheConfig{ // small cache so the lists thrash it
+			BlockSize: 32, L1Size: 512, L1Assoc: 2, L2Size: 2048, L2Assoc: 2,
+			L2HitCycles: 10, MemCycles: 100,
+		},
+	})
+	// Two 40-node scattered lists; the code expects their heads at fixed
+	// heap slots 16 and 24.
+	m.WriteWord(16, m.AllocList(40, 4, true, 1)[0])
+	m.WriteWord(24, m.AllocList(40, 4, true, 2)[0])
+
+	baseline, err := m.RunUnoptimized()
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := vm.DefaultOptimizeConfig()
+	cfg.SamplingDenominator = 4 // short demo program: sample aggressively
+	cfg.AwakePeriods = 4
+	cfg.HibernatePeriods = 60
+	cfg.MinCoverage = 0.02
+	cfg.Events = os.Stdout // watch the Figure-1 cycle live
+	rep, err := m.RunOptimized(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\ncustom assembly program under dynamic hot data stream prefetching")
+	fmt.Printf("  unoptimized execution   %d cycles\n", baseline)
+	fmt.Printf("  with dynamic prefetch   %d cycles (%+.1f%%)\n",
+		rep.Cycles, 100*(float64(rep.Cycles)/float64(baseline)-1))
+	fmt.Printf("  optimization cycles     %d\n", rep.OptCycles)
+	fmt.Printf("  hot streams per cycle   %d\n", rep.HotStreams)
+	fmt.Printf("  procedures modified     %d\n", rep.ProcsModified)
+	fmt.Printf("  prefetches (useful)     %d (%d)\n", rep.Prefetches, rep.UsefulPrefetches)
+}

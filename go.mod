@@ -1,0 +1,3 @@
+module hotprefetch
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package hotprefetch is a reproduction of Chilimbi & Hirzel, "Dynamic Hot
+// Data Stream Prefetching for General-Purpose Programs" (PLDI 2002), as a
+// reusable Go library.
+//
+// The package exposes the paper's pipeline in two forms:
+//
+//   - Standalone algorithm components that work on any data reference
+//     trace: an online temporal profile builder (Sequitur compression +
+//     fast hot data stream extraction, paper §2) and a prefix-matching
+//     engine that tracks all hot streams with one DFSM and reports the
+//     addresses to prefetch (paper §3).
+//
+//   - A complete execution-substrate simulation — virtual ISA, two-level
+//     cache hierarchy, bursty tracing, dynamic code injection — that
+//     reproduces the paper's evaluation end to end (paper §4). See
+//     RunBenchmark and the cmd/ tools.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results.
+package hotprefetch
+
+import (
+	"fmt"
+
+	"hotprefetch/internal/dfsm"
+	"hotprefetch/internal/hotds"
+	"hotprefetch/internal/ref"
+	"hotprefetch/internal/sequitur"
+)
+
+// Ref is a single data reference: the program counter of a load or store
+// and the address it touched (paper §2.1).
+type Ref struct {
+	PC   int
+	Addr uint64
+}
+
+// Stream is a hot data stream: a reference sequence that frequently repeats
+// in the same order, with its regularity magnitude Heat = length ×
+// frequency (paper §2.3).
+type Stream struct {
+	Refs []Ref
+	Heat uint64
+}
+
+// Coverage returns the fraction of a trace of traceLen references this
+// stream accounts for.
+func (s Stream) Coverage(traceLen uint64) float64 {
+	if traceLen == 0 {
+		return 0
+	}
+	return float64(s.Heat) / float64(traceLen)
+}
+
+// AnalysisConfig controls hot data stream detection.
+type AnalysisConfig struct {
+	// MinLen and MaxLen bound stream length in references.
+	MinLen, MaxLen int
+	// MinUnique is the minimum number of distinct references per stream
+	// (the paper requires more than ten, §1). Zero disables the filter.
+	MinUnique int
+	// MinCoverage is the fraction of the profiled trace a stream must
+	// account for (the paper uses 1%, §4.1). Ignored if Heat is set.
+	MinCoverage float64
+	// Heat is an explicit heat threshold overriding MinCoverage.
+	Heat uint64
+	// MaxStreams caps the result to the hottest streams (0 = no cap).
+	MaxStreams int
+}
+
+// DefaultAnalysisConfig returns the paper's §4.1 settings: streams of more
+// than ten unique references covering at least 1% of the trace, at most 100
+// streams.
+func DefaultAnalysisConfig() AnalysisConfig {
+	c := hotds.DefaultConfig()
+	return AnalysisConfig{
+		MinLen:      int(c.MinLen),
+		MaxLen:      int(c.MaxLen),
+		MinUnique:   c.MinUnique,
+		MinCoverage: c.MinCoverage,
+		MaxStreams:  c.MaxStreams,
+	}
+}
+
+func (c AnalysisConfig) internal() hotds.Config {
+	return hotds.Config{
+		MinLen:      uint64(c.MinLen),
+		MaxLen:      uint64(c.MaxLen),
+		MinUnique:   c.MinUnique,
+		MinCoverage: c.MinCoverage,
+		Heat:        c.Heat,
+		MaxStreams:  c.MaxStreams,
+	}
+}
+
+// Profile is an online temporal data reference profile: references are
+// appended one at a time and compressed incrementally into a Sequitur
+// grammar (paper §2.3). Appending is amortized O(1); extraction of hot data
+// streams is linear in the grammar size. Profile is not safe for concurrent
+// use.
+type Profile struct {
+	grammar  *sequitur.Grammar
+	interner *ref.Interner
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		grammar:  sequitur.New(),
+		interner: ref.NewInterner(),
+	}
+}
+
+// Add appends one data reference to the profile.
+func (p *Profile) Add(r Ref) {
+	sym := p.interner.Intern(ref.Ref{PC: r.PC, Addr: r.Addr})
+	p.grammar.Append(uint64(sym))
+}
+
+// AddAll appends each reference in order.
+func (p *Profile) AddAll(refs []Ref) {
+	for _, r := range refs {
+		p.Add(r)
+	}
+}
+
+// Len returns the number of references added so far.
+func (p *Profile) Len() uint64 { return p.grammar.Len() }
+
+// GrammarSize returns the size of the underlying Sequitur grammar — the
+// quantity hot data stream analysis is linear in.
+func (p *Profile) GrammarSize() int { return p.grammar.Size() }
+
+// HotStreams extracts the profile's hot data streams using the paper's fast
+// approximation algorithm (Figure 5), hottest first. The profile can
+// continue to grow afterwards.
+func (p *Profile) HotStreams(cfg AnalysisConfig) []Stream {
+	infos := hotds.Analyze(p.grammar.Snapshot(), cfg.internal())
+	return p.toStreams(infos)
+}
+
+// HotStreamsPrecise extracts hot data streams with the exact (Larus-style)
+// detector over the reconstructed trace. It is slower than HotStreams but
+// also finds streams that straddle the grammar's rule boundaries (§2.3).
+func (p *Profile) HotStreamsPrecise(cfg AnalysisConfig) []Stream {
+	trace := p.grammar.Snapshot().Expand(0)
+	infos := hotds.PreciseAnalyze(trace, cfg.internal())
+	return p.toStreams(infos)
+}
+
+func (p *Profile) toStreams(infos []hotds.StreamInfo) []Stream {
+	out := make([]Stream, len(infos))
+	for i, info := range infos {
+		refs := make([]Ref, len(info.Word))
+		for j, sym := range info.Word {
+			r := p.interner.Ref(ref.Symbol(sym))
+			refs[j] = Ref{PC: r.PC, Addr: r.Addr}
+		}
+		out[i] = Stream{Refs: refs, Heat: info.Heat}
+	}
+	return out
+}
+
+// Matcher tracks the matching prefixes of a set of hot data streams with a
+// single DFSM (paper §3.1, Figures 7-9). Feed it the data references
+// observed at the streams' head pcs; when a stream's head completes, Observe
+// returns the remaining stream addresses to prefetch.
+type Matcher struct {
+	d *dfsm.DFSM
+	m *dfsm.Matcher
+}
+
+// NewMatcher builds the combined prefix-matching DFSM for the given streams.
+// headLen is the prefix length that must match before prefetching is
+// initiated; the paper finds 2 best (§4.3). Streams too short to have a
+// prefetchable tail are ignored.
+func NewMatcher(streams []Stream, headLen int) (*Matcher, error) {
+	if headLen < 1 {
+		return nil, fmt.Errorf("hotprefetch: headLen must be >= 1, got %d", headLen)
+	}
+	split := make([]dfsm.Stream, 0, len(streams))
+	for _, s := range streams {
+		refs := make([]ref.Ref, len(s.Refs))
+		for i, r := range s.Refs {
+			refs[i] = ref.Ref{PC: r.PC, Addr: r.Addr}
+		}
+		split = append(split, dfsm.Split(refs, s.Heat, headLen))
+	}
+	d := dfsm.Build(split, headLen)
+	return &Matcher{d: d, m: dfsm.NewMatcher(d)}, nil
+}
+
+// Observe consumes one data reference. It returns the addresses to prefetch
+// (non-nil exactly when a stream's head just completed) and the number of
+// comparisons the generated detection code would have executed — the
+// matching overhead the paper charges against prefetching gains.
+func (m *Matcher) Observe(r Ref) (prefetch []uint64, comparisons int) {
+	return m.m.Step(ref.Ref{PC: r.PC, Addr: r.Addr})
+}
+
+// Reset returns the matcher to its start state (nothing matched).
+func (m *Matcher) Reset() { m.m.Reset() }
+
+// NumStates returns the number of DFSM states, including the start state.
+// The paper observes close to headLen×n+1 states for n streams rather than
+// the exponential worst case (§3.1).
+func (m *Matcher) NumStates() int { return m.d.NumStates() }
+
+// NumTransitions returns the number of explicit DFSM transitions.
+func (m *Matcher) NumTransitions() int { return m.d.NumTransitions() }
+
+// PCs returns the sorted instruction addresses at which detection code must
+// be injected: every pc appearing in any stream's head.
+func (m *Matcher) PCs() []int { return m.d.PCs() }

@@ -1,0 +1,253 @@
+// Package baseline implements the hardware prefetching schemes the paper
+// compares against in its related-work discussion (§5.1): a classic per-PC
+// stride prefetcher [7] and a Markov correlation prefetcher in the style of
+// Joseph and Grunwald [16].
+//
+// Both attach to the cache hierarchy as memsim Observers, watching the
+// demand access stream and issuing prefetches — the software analog of
+// sitting beside the cache controller. They support the paper's §4.3 claim
+// that "many [hot data stream addresses] will not be successfully prefetched
+// using a simple stride-based prefetching scheme", and quantify how the
+// software scheme relates to correlation-based hardware prefetching, its
+// closest hardware relative.
+package baseline
+
+import "hotprefetch/internal/memsim"
+
+// StrideStats counts stride prefetcher activity.
+type StrideStats struct {
+	Trained  uint64 // accesses that confirmed a stride
+	Issued   uint64 // prefetches issued
+	Replaced uint64 // table entries stolen by a different pc
+}
+
+// strideEntry is one row of the reference prediction table.
+type strideEntry struct {
+	pc       int
+	lastAddr uint64
+	stride   int64
+	state    uint8 // 0 = initial, 1 = transient, 2 = steady
+}
+
+// Stride is a per-PC stride prefetcher with a direct-mapped reference
+// prediction table: when a load pc repeats the same address delta twice, the
+// prefetcher issues Degree prefetches ahead along that stride.
+type Stride struct {
+	h      *memsim.Hierarchy
+	table  []strideEntry
+	mask   int
+	degree int
+	stats  StrideStats
+}
+
+// NewStride attaches a stride prefetcher with a table of `entries` rows
+// (rounded up to a power of two) issuing `degree` blocks ahead.
+func NewStride(h *memsim.Hierarchy, entries, degree int) *Stride {
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	s := &Stride{h: h, table: make([]strideEntry, size), mask: size - 1, degree: degree}
+	h.SetObserver(s)
+	return s
+}
+
+// Stats returns the prefetcher's activity counters.
+func (s *Stride) Stats() StrideStats { return s.stats }
+
+// OnAccess implements memsim.Observer.
+func (s *Stride) OnAccess(now uint64, pc int, addr uint64, l1Hit, l2Hit bool) {
+	e := &s.table[pc&s.mask]
+	if e.pc != pc {
+		// Direct-mapped: a different pc steals the row.
+		if e.state != 0 || e.pc != 0 {
+			s.stats.Replaced++
+		}
+		*e = strideEntry{pc: pc, lastAddr: addr}
+		return
+	}
+	delta := int64(addr) - int64(e.lastAddr)
+	switch {
+	case e.state == 0:
+		e.stride = delta
+		e.state = 1
+	case delta == e.stride && delta != 0:
+		if e.state < 2 {
+			e.state = 2
+		}
+		s.stats.Trained++
+		for i := 1; i <= s.degree; i++ {
+			s.stats.Issued++
+			s.h.Prefetch(now, uint64(int64(addr)+int64(i)*e.stride))
+		}
+	default:
+		e.stride = delta
+		e.state = 1
+	}
+	e.lastAddr = addr
+}
+
+// MarkovStats counts Markov prefetcher activity.
+type MarkovStats struct {
+	Misses  uint64 // observed trigger misses
+	Learned uint64 // transitions recorded
+	Issued  uint64 // prefetches issued
+}
+
+// markovNode holds the most-recently-confirmed successors of one miss
+// block, MRU first.
+type markovNode struct {
+	block uint64
+	succs []uint64
+}
+
+// Markov is a correlation prefetcher after Joseph & Grunwald [16]: nodes are
+// miss block addresses, edges are observed miss-successor frequencies
+// (approximated by MRU order), and a miss to a known node prefetches its top
+// successors. The node table is capacity-bounded with FIFO replacement, as a
+// hardware table would be.
+type Markov struct {
+	h        *memsim.Hierarchy
+	nodes    map[uint64]*markovNode
+	order    []uint64 // FIFO of node blocks for replacement
+	capacity int
+	maxSuccs int
+	degree   int
+	prev     uint64
+	hasPrev  bool
+	stats    MarkovStats
+}
+
+// NewMarkov attaches a Markov prefetcher with the given node capacity,
+// successors retained per node, and prefetch degree (successors fetched per
+// trigger miss).
+func NewMarkov(h *memsim.Hierarchy, capacity, maxSuccs, degree int) *Markov {
+	m := &Markov{
+		h:        h,
+		nodes:    make(map[uint64]*markovNode, capacity),
+		capacity: capacity,
+		maxSuccs: maxSuccs,
+		degree:   degree,
+	}
+	h.SetObserver(m)
+	return m
+}
+
+// Stats returns the prefetcher's activity counters.
+func (m *Markov) Stats() MarkovStats { return m.stats }
+
+// OnAccess implements memsim.Observer. Only L1 misses drive the model, as in
+// the original proposal (prefetching on the miss reference stream).
+func (m *Markov) OnAccess(now uint64, pc int, addr uint64, l1Hit, l2Hit bool) {
+	if l1Hit {
+		return
+	}
+	block := m.h.Block(addr)
+	m.stats.Misses++
+
+	// Learn the transition prev -> block.
+	if m.hasPrev && m.prev != block {
+		m.learn(m.prev, block)
+	}
+	m.prev = block
+	m.hasPrev = true
+
+	// Predict: prefetch the top successors of this block.
+	if n, ok := m.nodes[block]; ok {
+		limit := m.degree
+		if limit > len(n.succs) {
+			limit = len(n.succs)
+		}
+		bs := uint64(m.h.BlockSize())
+		for i := 0; i < limit; i++ {
+			m.stats.Issued++
+			m.h.Prefetch(now, n.succs[i]*bs)
+		}
+	}
+}
+
+func (m *Markov) learn(from, to uint64) {
+	n, ok := m.nodes[from]
+	if !ok {
+		if len(m.nodes) >= m.capacity {
+			victim := m.order[0]
+			m.order = m.order[1:]
+			delete(m.nodes, victim)
+		}
+		n = &markovNode{block: from}
+		m.nodes[from] = n
+		m.order = append(m.order, from)
+	}
+	// Move `to` to MRU position, or insert it, dropping the LRU successor
+	// beyond maxSuccs.
+	for i, s := range n.succs {
+		if s == to {
+			copy(n.succs[1:i+1], n.succs[:i])
+			n.succs[0] = to
+			return
+		}
+	}
+	m.stats.Learned++
+	n.succs = append(n.succs, 0)
+	copy(n.succs[1:], n.succs[:len(n.succs)-1])
+	n.succs[0] = to
+	if len(n.succs) > m.maxSuccs {
+		n.succs = n.succs[:m.maxSuccs]
+	}
+}
+
+// NextLineStats counts next-line prefetcher activity.
+type NextLineStats struct {
+	Triggers uint64 // misses and first-touches of prefetched lines
+	Issued   uint64
+}
+
+// NextLine is a tagged next-line prefetcher in the spirit of Jouppi's
+// stream buffers (paper reference [17], discussed in §5.1): an L1 miss to
+// block B triggers prefetches of B+1..B+Degree, and a first demand touch of
+// a prefetched block keeps the run going. It exploits spatially sequential
+// access and, like the paper's Seq-pref baseline, cannot follow
+// pointer-chased hot data streams.
+type NextLine struct {
+	h       *memsim.Hierarchy
+	degree  int
+	tagged  map[uint64]struct{} // blocks we prefetched and have not seen yet
+	stats   NextLineStats
+	maxTags int
+}
+
+// NewNextLine attaches a next-line prefetcher of the given degree.
+func NewNextLine(h *memsim.Hierarchy, degree int) *NextLine {
+	n := &NextLine{
+		h:       h,
+		degree:  degree,
+		tagged:  make(map[uint64]struct{}),
+		maxTags: 4096,
+	}
+	h.SetObserver(n)
+	return n
+}
+
+// Stats returns the prefetcher's activity counters.
+func (n *NextLine) Stats() NextLineStats { return n.stats }
+
+// OnAccess implements memsim.Observer.
+func (n *NextLine) OnAccess(now uint64, pc int, addr uint64, l1Hit, l2Hit bool) {
+	block := n.h.Block(addr)
+	_, wasTagged := n.tagged[block]
+	if wasTagged {
+		delete(n.tagged, block)
+	}
+	if !l1Hit || wasTagged {
+		n.stats.Triggers++
+		bs := uint64(n.h.BlockSize())
+		for i := 1; i <= n.degree; i++ {
+			next := block + uint64(i)
+			n.stats.Issued++
+			n.h.Prefetch(now, next*bs)
+			if len(n.tagged) < n.maxTags {
+				n.tagged[next] = struct{}{}
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"testing"
+
+	"hotprefetch/internal/memsim"
+)
+
+func smallCache() memsim.Config {
+	return memsim.Config{
+		BlockSize: 32, L1Size: 512, L1Assoc: 2, L2Size: 2048, L2Assoc: 2,
+		L2HitLatency: 10, MemLatency: 100,
+	}
+}
+
+func TestStrideLearnsFixedStride(t *testing.T) {
+	h := memsim.New(smallCache())
+	s := NewStride(h, 64, 2)
+	// pc 7 strides by 64 bytes.
+	for i := 0; i < 10; i++ {
+		h.Access(uint64(i*200), 7, uint64(0x1000+i*64), false)
+	}
+	if s.Stats().Trained == 0 || s.Stats().Issued == 0 {
+		t.Fatalf("stride prefetcher never trained: %+v", s.Stats())
+	}
+	// After training, the next blocks along the stride are resident.
+	if !h.Contains(1, 0x1000+9*64+64) {
+		t.Error("next stride block should be prefetched")
+	}
+}
+
+func TestStrideIgnoresIrregularAddresses(t *testing.T) {
+	h := memsim.New(smallCache())
+	s := NewStride(h, 64, 2)
+	// Pointer-chase-like pseudo-random deltas at one pc: the §4.3 claim is
+	// that hot data stream addresses defeat stride prediction.
+	addrs := []uint64{0x1000, 0x5420, 0x2310, 0x7700, 0x120, 0x4448, 0x3330}
+	for i, a := range addrs {
+		h.Access(uint64(i*200), 9, a, false)
+	}
+	if s.Stats().Trained != 0 {
+		t.Errorf("stride prefetcher trained %d times on irregular stream", s.Stats().Trained)
+	}
+}
+
+func TestStrideTableConflict(t *testing.T) {
+	h := memsim.New(smallCache())
+	s := NewStride(h, 1, 1) // single row: every distinct pc conflicts
+	h.Access(0, 1, 0x100, false)
+	h.Access(1, 2, 0x200, false)
+	h.Access(2, 1, 0x300, false)
+	if s.Stats().Replaced == 0 {
+		t.Error("conflicting pcs must replace the table row")
+	}
+}
+
+func TestMarkovLearnsMissCorrelation(t *testing.T) {
+	h := memsim.New(smallCache())
+	m := NewMarkov(h, 1024, 2, 2)
+	// A repeating miss sequence: A -> B -> C over a working set that
+	// misses every time (3 blocks mapping far apart, cache thrashed by
+	// extra traffic).
+	seq := []uint64{0x10000, 0x20000, 0x30000}
+	now := uint64(0)
+	for lap := 0; lap < 6; lap++ {
+		for _, a := range seq {
+			h.Access(now, 1, a, false)
+			now += 200
+		}
+		// Evict everything with conflicting traffic.
+		for i := 0; i < 64; i++ {
+			h.Access(now, 2, uint64(0x80000+i*32), false)
+			now += 200
+		}
+	}
+	if m.Stats().Learned == 0 {
+		t.Fatal("markov prefetcher learned nothing")
+	}
+	if m.Stats().Issued == 0 {
+		t.Fatal("markov prefetcher issued nothing")
+	}
+	// After training, a miss on A prefetches its learned top successors.
+	// (Prefetch feedback perturbs the miss stream during training — hits on
+	// prefetched blocks drop out of the correlation chain — so we assert
+	// against the model's own learned successors, not the raw sequence.)
+	blockA := h.Block(seq[0])
+	n, ok := m.nodes[blockA]
+	if !ok || len(n.succs) == 0 {
+		t.Fatal("no node learned for A")
+	}
+	before := m.Stats().Issued
+	h.Access(now, 1, seq[0], false)
+	if m.Stats().Issued == before {
+		t.Fatal("miss on a known node must issue prefetches")
+	}
+	if !h.Contains(1, n.succs[0]*uint64(h.BlockSize())) {
+		t.Error("top learned successor should be resident after the trigger miss")
+	}
+}
+
+func TestMarkovCapacityBounded(t *testing.T) {
+	h := memsim.New(smallCache())
+	m := NewMarkov(h, 4, 2, 1)
+	// Stream of unique misses far beyond capacity.
+	for i := 0; i < 100; i++ {
+		h.Access(uint64(i*200), 1, uint64(0x100000+i*4096), false)
+	}
+	if len(m.nodes) > 4 {
+		t.Errorf("node table grew to %d, capacity 4", len(m.nodes))
+	}
+}
+
+func TestMarkovSuccessorMRU(t *testing.T) {
+	h := memsim.New(smallCache())
+	m := NewMarkov(h, 16, 2, 2)
+	// A followed alternately by B, C, D: only 2 successors retained.
+	m.learn(1, 2)
+	m.learn(1, 3)
+	m.learn(1, 4)
+	n := m.nodes[1]
+	if len(n.succs) != 2 {
+		t.Fatalf("successors = %v, want 2 retained", n.succs)
+	}
+	if n.succs[0] != 4 || n.succs[1] != 3 {
+		t.Errorf("succs = %v, want [4 3] (MRU first)", n.succs)
+	}
+	m.learn(1, 3) // promote 3
+	if n.succs[0] != 3 {
+		t.Errorf("succs = %v, want 3 promoted to MRU", n.succs)
+	}
+}
+
+func TestMarkovOnlyMissesDriveModel(t *testing.T) {
+	h := memsim.New(smallCache())
+	m := NewMarkov(h, 16, 2, 2)
+	h.Access(0, 1, 0x100, false) // miss
+	h.Access(1, 1, 0x100, false) // hit
+	h.Access(2, 1, 0x100, false) // hit
+	if m.Stats().Misses != 1 {
+		t.Errorf("misses = %d, want 1 (hits must not drive the model)", m.Stats().Misses)
+	}
+}
+
+func TestNextLineFollowsSequentialRun(t *testing.T) {
+	h := memsim.New(smallCache())
+	n := NewNextLine(h, 2)
+	// Sequential scan: after the first miss, following blocks should be
+	// prefetched ahead.
+	var misses int
+	for i := 0; i < 16; i++ {
+		if h.Access(uint64(i*300), 1, uint64(i*32), false) > 0 {
+			misses++
+		}
+	}
+	if n.Stats().Issued == 0 {
+		t.Fatal("next-line prefetcher issued nothing")
+	}
+	if misses > 4 {
+		t.Errorf("sequential scan stalled %d times with next-line prefetching", misses)
+	}
+}
+
+func TestNextLineUselessOnScatteredChase(t *testing.T) {
+	h := memsim.New(smallCache())
+	NewNextLine(h, 2)
+	// Pointer-chase: blocks far apart, never sequential.
+	addrs := []uint64{0x10000, 0x54000, 0x23000, 0x77000, 0x1000, 0x44000}
+	for lap := 0; lap < 4; lap++ {
+		for i, a := range addrs {
+			h.Access(uint64((lap*len(addrs)+i)*300), 1, a, false)
+		}
+	}
+	st := h.Stats()
+	if st.UsefulPrefetches > st.Prefetches/4 {
+		t.Errorf("next-line should be mostly useless on a scattered chase: %d/%d useful",
+			st.UsefulPrefetches, st.Prefetches)
+	}
+}

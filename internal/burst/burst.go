@@ -1,0 +1,186 @@
+// Package burst implements the bursty tracing profiling framework of the
+// paper's §2.1–2.2 (Figures 2 and 3), an extension of the Arnold-Ryder
+// counter-based sampling scheme.
+//
+// Procedure code exists in two versions — checking and instrumented — that
+// transfer control to each other at checks placed at procedure entries and
+// loop back-edges. A pair of counters decides where execution continues:
+//
+//   - in checking code, nCheck is decremented at every check; when it
+//     reaches zero, nInstr is initialized to nInstr0 and control moves to
+//     the instrumented code, beginning a profiling burst;
+//   - in instrumented code, nInstr is decremented at every check; when it
+//     reaches zero, nCheck is reinitialized to nCheck0 and control returns
+//     to the checking code.
+//
+// nCheck0+nInstr0 dynamic checks form one burst-period. For online
+// optimization the framework alternates between an awake phase (nAwake0
+// burst-periods of real tracing) and a hibernating phase (nHibernate0
+// burst-periods during which nCheck0' = nCheck0+nInstr0-1 and nInstr0' = 1,
+// so the profiler enters instrumented code only once per burst-period and
+// traces next to nothing). Everything is deterministic.
+package burst
+
+// Phase identifies the profiler's current phase.
+type Phase int
+
+const (
+	// Awake is the active profiling phase.
+	Awake Phase = iota
+	// Hibernating is the low-overhead phase during which the program runs
+	// with injected prefetching and (virtually) no tracing.
+	Hibernating
+)
+
+func (p Phase) String() string {
+	if p == Awake {
+		return "awake"
+	}
+	return "hibernating"
+}
+
+// Config holds the four counters of the extended framework plus the modeled
+// cost of one dynamic check.
+type Config struct {
+	NCheck0     int64 // checks spent in checking code per burst-period
+	NInstr0     int64 // checks spent in instrumented code per burst-period
+	NAwake0     int64 // burst-periods per awake phase
+	NHibernate0 int64 // burst-periods per hibernating phase
+
+	// CheckCost is the cycle cost of one dynamic check (the "Base"
+	// overhead of the paper's Figure 11). The paper measures 2.5–6%
+	// total from checks alone.
+	CheckCost uint64
+}
+
+// PaperConfig returns the settings of the paper's §4.1: a 0.5% sampling
+// rate with bursts of 60 checks (nCheck0 = 11940, nInstr0 = 60), awake for
+// 50 burst-periods out of every 2500 (1 second of every 50).
+func PaperConfig() Config {
+	return Config{
+		NCheck0:     11940,
+		NInstr0:     60,
+		NAwake0:     50,
+		NHibernate0: 2450,
+		CheckCost:   2,
+	}
+}
+
+// SamplingRate returns the awake-phase sampling rate nInstr0 /
+// (nInstr0 + nCheck0).
+func (c Config) SamplingRate() float64 {
+	return float64(c.NInstr0) / float64(c.NInstr0+c.NCheck0)
+}
+
+// OverallRate returns the long-run sampling rate including hibernation
+// (§2.2): (nAwake0*nInstr0) / ((nAwake0+nHibernate0)*(nInstr0+nCheck0)).
+func (c Config) OverallRate() float64 {
+	return float64(c.NAwake0*c.NInstr0) /
+		(float64(c.NAwake0+c.NHibernate0) * float64(c.NInstr0+c.NCheck0))
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Checks       uint64 // dynamic checks executed
+	BurstPeriods uint64 // burst-periods completed
+	AwakePhases  uint64 // awake phases completed
+}
+
+// Controller decides, at every dynamic check, whether execution continues
+// in the checking or the instrumented version of the code, and tracks phase
+// boundaries. The zero value is not usable; call New.
+type Controller struct {
+	cfg Config
+
+	// Effective counters for the current phase (hibernation overrides).
+	nCheck0, nInstr0 int64
+
+	nCheck, nInstr int64
+	instrumented   bool
+	phase          Phase
+	periodsInPhase int64
+	stats          Stats
+}
+
+// New returns a controller starting at the beginning of an awake phase, in
+// checking code, exactly as the framework starts up (§2.1).
+func New(cfg Config) *Controller {
+	c := &Controller{cfg: cfg}
+	c.enterPhase(Awake)
+	return c
+}
+
+func (c *Controller) enterPhase(p Phase) {
+	c.phase = p
+	c.periodsInPhase = 0
+	if p == Awake {
+		c.nCheck0 = c.cfg.NCheck0
+		c.nInstr0 = c.cfg.NInstr0
+	} else {
+		// Hibernation: one instrumented check per burst-period so periods
+		// keep the same length in executed checks (Figure 3).
+		c.nCheck0 = c.cfg.NCheck0 + c.cfg.NInstr0 - 1
+		c.nInstr0 = 1
+	}
+	c.nCheck = c.nCheck0
+	c.nInstr = 0
+	c.instrumented = false
+}
+
+// Phase returns the current phase.
+func (c *Controller) Phase() Phase { return c.phase }
+
+// Awake reports whether the profiler is in its awake phase. Data references
+// traced during hibernation are ignored by the profiling pipeline to avoid
+// trace contamination (§2.4).
+func (c *Controller) Awake() bool { return c.phase == Awake }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// CheckCost returns the configured cost of one dynamic check.
+func (c *Controller) CheckCost() uint64 { return c.cfg.CheckCost }
+
+// Check executes one dynamic check. It returns whether execution continues
+// in the instrumented version, and whether the current phase just completed
+// (the caller — the online optimizer — then either runs its analysis and
+// calls Hibernate, or deoptimizes and calls Wake).
+func (c *Controller) Check() (instrumented, phaseEnded bool) {
+	c.stats.Checks++
+	if !c.instrumented {
+		c.nCheck--
+		if c.nCheck <= 0 {
+			c.nInstr = c.nInstr0
+			c.instrumented = true
+		}
+		return c.instrumented, false
+	}
+	c.nInstr--
+	if c.nInstr <= 0 {
+		c.nCheck = c.nCheck0
+		c.instrumented = false
+		c.stats.BurstPeriods++
+		c.periodsInPhase++
+		switch c.phase {
+		case Awake:
+			if c.periodsInPhase >= c.cfg.NAwake0 {
+				c.stats.AwakePhases++
+				return false, true
+			}
+		case Hibernating:
+			if c.periodsInPhase >= c.cfg.NHibernate0 {
+				return false, true
+			}
+		}
+	}
+	return c.instrumented, false
+}
+
+// Hibernate switches the controller into the hibernating phase. The online
+// optimizer calls this after finishing its analysis and injecting
+// prefetching code.
+func (c *Controller) Hibernate() { c.enterPhase(Hibernating) }
+
+// Wake switches the controller back into the awake phase, restoring the
+// original counters. The optimizer calls this after de-optimizing.
+func (c *Controller) Wake() { c.enterPhase(Awake) }

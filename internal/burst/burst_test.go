@@ -1,0 +1,254 @@
+package burst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperConfigRates(t *testing.T) {
+	cfg := PaperConfig()
+	// §4.1: 0.5% sampling during the active period, bursts of 60 checks.
+	if got := cfg.SamplingRate(); math.Abs(got-0.005) > 1e-9 {
+		t.Errorf("SamplingRate = %v, want 0.005", got)
+	}
+	// Overall: awake 50 of 2500 periods -> 1/50th of 0.5% = 0.01%.
+	if got := cfg.OverallRate(); math.Abs(got-0.0001) > 1e-9 {
+		t.Errorf("OverallRate = %v, want 0.0001", got)
+	}
+}
+
+func TestBurstStructure(t *testing.T) {
+	cfg := Config{NCheck0: 9, NInstr0: 3, NAwake0: 100, NHibernate0: 100}
+	c := New(cfg)
+	// First 9 checks: checking code (instrumented = false after checks 1-8,
+	// true after the 9th which starts the burst).
+	for i := 0; i < 8; i++ {
+		inst, ended := c.Check()
+		if inst || ended {
+			t.Fatalf("check %d: got instrumented=%v ended=%v", i, inst, ended)
+		}
+	}
+	inst, _ := c.Check()
+	if !inst {
+		t.Fatal("9th check must transfer to instrumented code")
+	}
+	// Burst lasts nInstr0 = 3 checks: 2 more instrumented, then back.
+	inst, _ = c.Check()
+	if !inst {
+		t.Fatal("burst should continue")
+	}
+	inst, _ = c.Check()
+	if !inst {
+		t.Fatal("burst should continue for the 3rd instrumented check")
+	}
+	inst, _ = c.Check()
+	if inst {
+		t.Fatal("burst should have ended after 3 instrumented checks")
+	}
+	if got := c.Stats().BurstPeriods; got != 1 {
+		t.Errorf("BurstPeriods = %d, want 1", got)
+	}
+}
+
+// runPeriods drives the controller n checks and returns how many were
+// instrumented.
+func runChecks(c *Controller, n int) (instrumented int, phaseEnds int) {
+	for i := 0; i < n; i++ {
+		inst, ended := c.Check()
+		if inst {
+			instrumented++
+		}
+		if ended {
+			phaseEnds++
+			// Mimic the optimizer's phase driving.
+			if c.Phase() == Awake {
+				c.Hibernate()
+			} else {
+				c.Wake()
+			}
+		}
+	}
+	return
+}
+
+func TestAwakePhaseEndsAfterNAwakePeriods(t *testing.T) {
+	cfg := Config{NCheck0: 9, NInstr0: 3, NAwake0: 5, NHibernate0: 10}
+	c := New(cfg)
+	checksPerPeriod := int(cfg.NCheck0 + cfg.NInstr0)
+	for i := 0; i < 5*checksPerPeriod-1; i++ {
+		_, ended := c.Check()
+		if ended {
+			t.Fatalf("phase ended early at check %d", i)
+		}
+	}
+	_, ended := c.Check()
+	if !ended {
+		t.Fatal("awake phase must end after nAwake0 burst-periods")
+	}
+	if c.Stats().AwakePhases != 1 {
+		t.Errorf("AwakePhases = %d, want 1", c.Stats().AwakePhases)
+	}
+}
+
+func TestHibernationTracesOncePerPeriod(t *testing.T) {
+	cfg := Config{NCheck0: 9, NInstr0: 3, NAwake0: 5, NHibernate0: 4}
+	c := New(cfg)
+	c.Hibernate()
+	if c.Phase() != Hibernating {
+		t.Fatal("controller should be hibernating")
+	}
+	// A hibernating burst-period is still nCheck0+nInstr0 = 12 checks long
+	// (Figure 3), with exactly one instrumented check.
+	checksPerPeriod := int(cfg.NCheck0 + cfg.NInstr0)
+	inst := 0
+	for i := 0; i < checksPerPeriod; i++ {
+		got, ended := c.Check()
+		if got {
+			inst++
+		}
+		if ended {
+			t.Fatalf("hibernation ended early at check %d", i)
+		}
+	}
+	if inst != 1 {
+		t.Errorf("instrumented checks per hibernating period = %d, want 1", inst)
+	}
+	// After nHibernate0 periods total, the phase ends.
+	for i := 0; i < 3*checksPerPeriod-1; i++ {
+		_, ended := c.Check()
+		if ended {
+			t.Fatalf("hibernation ended early in period loop at %d", i)
+		}
+	}
+	_, ended := c.Check()
+	if !ended {
+		t.Error("hibernation must end after nHibernate0 burst-periods")
+	}
+}
+
+func TestWakeRestoresCounters(t *testing.T) {
+	cfg := Config{NCheck0: 9, NInstr0: 3, NAwake0: 5, NHibernate0: 4}
+	c := New(cfg)
+	c.Hibernate()
+	c.Wake()
+	if c.Phase() != Awake {
+		t.Fatal("controller should be awake")
+	}
+	// The first burst after waking starts after nCheck0 checks again.
+	for i := 0; i < 8; i++ {
+		if inst, _ := c.Check(); inst {
+			t.Fatalf("instrumented too early after wake at check %d", i)
+		}
+	}
+	if inst, _ := c.Check(); !inst {
+		t.Error("burst should begin on the 9th check after wake")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{NCheck0: 7, NInstr0: 2, NAwake0: 3, NHibernate0: 6}
+	run := func() []bool {
+		c := New(cfg)
+		out := make([]bool, 500)
+		for i := range out {
+			inst, ended := c.Check()
+			out[i] = inst
+			if ended {
+				if c.Phase() == Awake {
+					c.Hibernate()
+				} else {
+					c.Wake()
+				}
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at check %d", i)
+		}
+	}
+}
+
+// Property: over full awake/hibernate cycles, the fraction of instrumented
+// checks approximates the configured overall sampling rate (§2.2).
+func TestPropertySamplingRateConverges(t *testing.T) {
+	f := func(seed uint8) bool {
+		nCheck := int64(seed%20) + 5
+		cfg := Config{NCheck0: nCheck, NInstr0: 2, NAwake0: 4, NHibernate0: 8}
+		c := New(cfg)
+		checksPerPeriod := cfg.NCheck0 + cfg.NInstr0
+		totalChecks := int(checksPerPeriod * (cfg.NAwake0 + cfg.NHibernate0) * 10)
+		instrumented, _ := runChecks(c, totalChecks)
+
+		// During hibernation, 1 check per period is instrumented (but its
+		// refs are ignored); the awake-phase instrumented fraction is what
+		// approximates the overall rate. Count only awake instrumented
+		// checks for the comparison.
+		awakeInstr := instrumented - 10*int(cfg.NHibernate0) // 1 per hib period
+		got := float64(awakeInstr) / float64(totalChecks)
+		want := cfg.OverallRate()
+		return math.Abs(got-want)/want < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: burst-periods have identical length in executed checks in both
+// phases (Figure 3's design goal).
+func TestPropertyPeriodLengthPhaseInvariant(t *testing.T) {
+	f := func(a, b uint8) bool {
+		cfg := Config{
+			NCheck0: int64(a%30) + 2, NInstr0: int64(b%5) + 1,
+			NAwake0: 3, NHibernate0: 3,
+		}
+		perPeriod := int(cfg.NCheck0 + cfg.NInstr0)
+
+		// Awake: count checks until the first period completes.
+		c := New(cfg)
+		n := 0
+		for {
+			n++
+			c.Check()
+			if c.Stats().BurstPeriods == 1 {
+				break
+			}
+		}
+		if n != perPeriod {
+			return false
+		}
+
+		// Hibernating: same length.
+		c2 := New(cfg)
+		c2.Hibernate()
+		n = 0
+		for {
+			n++
+			c2.Check()
+			if c2.Stats().BurstPeriods == 1 {
+				break
+			}
+		}
+		return n == perPeriod
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	c := New(PaperConfig())
+	for i := 0; i < b.N; i++ {
+		_, ended := c.Check()
+		if ended {
+			if c.Phase() == Awake {
+				c.Hibernate()
+			} else {
+				c.Wake()
+			}
+		}
+	}
+}

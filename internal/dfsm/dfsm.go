@@ -1,0 +1,465 @@
+// Package dfsm builds and drives the prefix-matching deterministic finite
+// state machine of the paper's §3.1 (Figures 7–9).
+//
+// Each hot data stream v is split into a head (the first headLen references,
+// which must be observed to trigger prefetching) and a tail (the remaining
+// addresses, which are prefetched on a complete head match). Rather than
+// matching each stream independently, a single DFSM tracks the matching
+// prefixes of all hot data streams simultaneously: a state is a set of
+// [stream, seen] elements, and the transition function is
+//
+//	d(s,a) = {[v,n+1] | n < headLen && [v,n] in s && a == v_{n+1}}
+//	         union {[w,1] | a == w_1}
+//
+// States whose element sets contain a completed head ([v, headLen]) are
+// annotated with the prefetch addresses of v's tail. The DFSM is built with
+// the lazy work-list algorithm of Figure 9; the number of reachable states
+// is usually close to headLen*n+1 rather than the exponential worst case.
+package dfsm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hotprefetch/internal/ref"
+)
+
+// Stream is one hot data stream prepared for prefix matching.
+type Stream struct {
+	Refs []ref.Ref // the complete stream
+	Head []ref.Ref // Refs[:headLen]
+	Tail []uint64  // deduplicated addresses of Refs[headLen:]
+	Heat uint64
+}
+
+// Split prepares a stream for matching with the given head length,
+// deduplicating tail addresses (the paper prefetches each remaining stream
+// address once: for v = abacadae with head aba it prefetches c, a, d, e).
+func Split(refs []ref.Ref, heat uint64, headLen int) Stream {
+	s := Stream{Refs: refs, Heat: heat}
+	if len(refs) <= headLen {
+		s.Head = refs
+		return s
+	}
+	s.Head = refs[:headLen]
+	seen := make(map[uint64]struct{})
+	for _, r := range refs[headLen:] {
+		if _, dup := seen[r.Addr]; !dup {
+			seen[r.Addr] = struct{}{}
+			s.Tail = append(s.Tail, r.Addr)
+		}
+	}
+	return s
+}
+
+// Element is one [stream, seen] pair of a DFSM state: the first seen
+// references of stream have been matched.
+type Element struct {
+	Stream int // index into DFSM.Streams
+	Seen   int // 1..headLen
+}
+
+// State is a reachable DFSM state.
+type State struct {
+	ID       int
+	Elements []Element // canonically sorted
+	// Prefetches lists the tail addresses of every stream whose head is
+	// completely matched in this state; they are issued on entry.
+	Prefetches []uint64
+}
+
+// key returns the canonical identity of an element set.
+func key(elems []Element) string {
+	var b strings.Builder
+	for _, e := range elems {
+		fmt.Fprintf(&b, "%d.%d;", e.Stream, e.Seen)
+	}
+	return b.String()
+}
+
+// transKey identifies a transition source: a state and an observed data
+// reference.
+type transKey struct {
+	state int
+	r     ref.Ref
+}
+
+// DFSM is the combined prefix-matching machine for a set of hot data
+// streams.
+type DFSM struct {
+	Streams []Stream
+	HeadLen int
+	States  []*State
+
+	trans map[transKey]*State
+	// perPC holds, for every instrumented pc, the comparison structure the
+	// injected code executes (paper Figure 7): an outer if-chain over
+	// addresses, each with an inner if-chain over source states and a
+	// restart default (the "else" arms). The Matcher counts scanned
+	// comparisons to model detection cost.
+	perPC map[int][]addrGroup
+}
+
+// addrGroup is one arm of the outer "if (accessing a.addr)" chain.
+type addrGroup struct {
+	addr    uint64
+	entries []stateEntry // inner "if (state == s)" chain, extensions only
+	restart *State       // d(start, a): taken when no state compare matches
+}
+
+type stateEntry struct {
+	fromState int
+	to        *State
+}
+
+// Build constructs the DFSM for the given streams with the lazy work-list
+// algorithm of paper Figure 9. Streams no longer than headLen carry no
+// prefetchable tail and are dropped.
+func Build(streams []Stream, headLen int) *DFSM {
+	if headLen < 1 {
+		panic("dfsm: headLen must be >= 1")
+	}
+	var usable []Stream
+	for _, s := range streams {
+		if len(s.Refs) > headLen && len(s.Tail) > 0 {
+			usable = append(usable, s)
+		}
+	}
+	d := &DFSM{
+		Streams: usable,
+		HeadLen: headLen,
+		trans:   make(map[transKey]*State),
+		perPC:   make(map[int][]addrGroup),
+	}
+
+	states := map[string]*State{}
+	start := &State{ID: 0}
+	states[key(nil)] = start
+	d.States = append(d.States, start)
+	workList := []*State{start}
+
+	intern := func(elems []Element) (*State, bool) {
+		k := key(elems)
+		if s, ok := states[k]; ok {
+			return s, false
+		}
+		s := &State{ID: len(d.States), Elements: elems}
+		for _, e := range elems {
+			if e.Seen == headLen {
+				s.Prefetches = append(s.Prefetches, d.Streams[e.Stream].Tail...)
+			}
+		}
+		states[k] = s
+		d.States = append(d.States, s)
+		return s, true
+	}
+
+	for len(workList) > 0 {
+		s := workList[len(workList)-1]
+		workList = workList[:len(workList)-1]
+
+		// Candidate symbols: the next reference of each in-progress element,
+		// plus the first reference of every stream (Figure 9's two loops).
+		cands := make([]ref.Ref, 0, len(s.Elements)+len(d.Streams))
+		seenCand := map[ref.Ref]struct{}{}
+		addCand := func(r ref.Ref) {
+			if _, dup := seenCand[r]; !dup {
+				seenCand[r] = struct{}{}
+				cands = append(cands, r)
+			}
+		}
+		for _, e := range s.Elements {
+			if e.Seen < headLen {
+				addCand(d.Streams[e.Stream].Head[e.Seen])
+			}
+		}
+		for _, st := range d.Streams {
+			addCand(st.Head[0])
+		}
+
+		for _, a := range cands {
+			tk := transKey{state: s.ID, r: a}
+			if _, exists := d.trans[tk]; exists {
+				continue
+			}
+			var next []Element
+			for _, e := range s.Elements {
+				if e.Seen < headLen && d.Streams[e.Stream].Head[e.Seen] == a {
+					next = append(next, Element{Stream: e.Stream, Seen: e.Seen + 1})
+				}
+			}
+			for wi, st := range d.Streams {
+				if st.Head[0] == a && !hasElement(next, wi, 1) {
+					next = append(next, Element{Stream: wi, Seen: 1})
+				}
+			}
+			if len(next) == 0 {
+				continue // implicit transition to the start state
+			}
+			sortElements(next)
+			target, fresh := intern(next)
+			d.trans[tk] = target
+			if fresh {
+				workList = append(workList, target)
+			}
+		}
+	}
+
+	d.buildChains()
+	return d
+}
+
+func hasElement(elems []Element, stream, seen int) bool {
+	for _, e := range elems {
+		if e.Stream == stream && e.Seen == seen {
+			return true
+		}
+	}
+	return false
+}
+
+func sortElements(elems []Element) {
+	sort.Slice(elems, func(i, j int) bool {
+		if elems[i].Stream != elems[j].Stream {
+			return elems[i].Stream < elems[j].Stream
+		}
+		return elems[i].Seen < elems[j].Seen
+	})
+}
+
+// buildChains lays out the per-pc comparison structure of the injected
+// detection code. Hotter streams' addresses come first, modelling the
+// paper's "sort the if-branches in such a way that more likely cases come
+// first". Within an address arm, only extension transitions need explicit
+// state compares; the restart transition d(start, a) is the arm's default.
+func (d *DFSM) buildChains() {
+	type groupBuild struct {
+		addr    uint64
+		heat    uint64
+		entries []stateEntry
+		restart *State
+	}
+	byPC := map[int]map[ref.Ref]*groupBuild{}
+	for tk, to := range d.trans {
+		groups := byPC[tk.r.PC]
+		if groups == nil {
+			groups = map[ref.Ref]*groupBuild{}
+			byPC[tk.r.PC] = groups
+		}
+		g := groups[tk.r]
+		if g == nil {
+			g = &groupBuild{addr: tk.r.Addr}
+			groups[tk.r] = g
+		}
+		for _, e := range to.Elements {
+			if h := d.Streams[e.Stream].Heat; h > g.heat {
+				g.heat = h
+			}
+		}
+		if tk.state == 0 {
+			g.restart = to // d(start, a), the arm's else branch
+		} else {
+			g.entries = append(g.entries, stateEntry{fromState: tk.state, to: to})
+		}
+	}
+	for pc, groups := range byPC {
+		list := make([]*groupBuild, 0, len(groups))
+		for _, g := range groups {
+			sort.Slice(g.entries, func(i, j int) bool {
+				return g.entries[i].fromState < g.entries[j].fromState
+			})
+			list = append(list, g)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].heat != list[j].heat {
+				return list[i].heat > list[j].heat
+			}
+			return list[i].addr < list[j].addr
+		})
+		arms := make([]addrGroup, len(list))
+		for i, g := range list {
+			arms[i] = addrGroup{addr: g.addr, entries: g.entries, restart: g.restart}
+		}
+		d.perPC[pc] = arms
+	}
+}
+
+// NumStates returns the number of reachable states, including the start
+// state.
+func (d *DFSM) NumStates() int { return len(d.States) }
+
+// NumTransitions returns the number of explicit transitions (Table 2's
+// "checks" column counts the injected prefix-match checks that implement
+// them).
+func (d *DFSM) NumTransitions() int { return len(d.trans) }
+
+// Start returns the start state (nothing matched).
+func (d *DFSM) Start() *State { return d.States[0] }
+
+// Next returns d(s, r), with the implicit reset to the start state for
+// undefined transitions.
+func (d *DFSM) Next(s *State, r ref.Ref) *State {
+	if t, ok := d.trans[transKey{state: s.ID, r: r}]; ok {
+		return t
+	}
+	return d.States[0]
+}
+
+// PCs returns the sorted set of instruction PCs at which detection code must
+// be injected — every pc occurring in any stream head.
+func (d *DFSM) PCs() []int {
+	set := map[int]struct{}{}
+	for _, s := range d.Streams {
+		for _, r := range s.Head {
+			set[r.PC] = struct{}{}
+		}
+	}
+	pcs := make([]int, 0, len(set))
+	for pc := range set {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+// String renders the DFSM's states and transitions for debugging.
+func (d *DFSM) String() string {
+	var b strings.Builder
+	for _, s := range d.States {
+		fmt.Fprintf(&b, "state %d {", s.ID)
+		for i, e := range s.Elements {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "[%d,%d]", e.Stream, e.Seen)
+		}
+		b.WriteString("}")
+		if len(s.Prefetches) > 0 {
+			fmt.Fprintf(&b, " prefetch %d addrs", len(s.Prefetches))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Matcher drives a DFSM over a stream of observed data references at the
+// injected check sites. It is the runtime counterpart of the generated code
+// in paper Figure 7.
+type Matcher struct {
+	d   *DFSM
+	cur *State
+}
+
+// NewMatcher returns a matcher positioned at the start state.
+func NewMatcher(d *DFSM) *Matcher {
+	return &Matcher{d: d, cur: d.States[0]}
+}
+
+// State returns the current state.
+func (m *Matcher) State() *State { return m.cur }
+
+// Reset returns the matcher to the start state.
+func (m *Matcher) Reset() { m.cur = m.d.States[0] }
+
+// Step consumes one data reference observed at an instrumented pc. It
+// returns the addresses to prefetch (non-nil exactly when a stream head
+// completes) and the number of comparisons the injected check chain
+// executed, which the caller charges as detection overhead.
+//
+// The comparison count follows the structure of the generated code in paper
+// Figure 7: an outer if-chain over the addresses checked at this pc, then an
+// inner if-chain over source states, with the restart transition as the
+// arm's else branch.
+func (m *Matcher) Step(r ref.Ref) (prefetch []uint64, comparisons int) {
+	arms := m.d.perPC[r.PC]
+	prev := m.cur
+	for i := range arms {
+		comparisons++ // address compare
+		if arms[i].addr != r.Addr {
+			continue
+		}
+		next := arms[i].restart // else branch: d(start, a), possibly nil
+		for _, e := range arms[i].entries {
+			comparisons++ // state compare
+			if e.fromState == m.cur.ID {
+				next = e.to
+				break
+			}
+		}
+		if next == nil {
+			next = m.d.States[0]
+		}
+		m.cur = next
+		if prev != m.cur && len(m.cur.Prefetches) > 0 {
+			return m.cur.Prefetches, comparisons
+		}
+		return nil, comparisons
+	}
+	// Address matched no arm: d(s,a) = {}, reset to start (the final
+	// "else v.seen = 0" of Figure 7).
+	m.cur = m.d.States[0]
+	if comparisons == 0 {
+		comparisons = 1 // the failed address comparison itself
+	}
+	return nil, comparisons
+}
+
+// WriteDOT renders the DFSM in Graphviz DOT format, in the style of the
+// paper's Figure 8: nodes are states labelled with their element sets,
+// edges are transitions labelled with the observed reference, and states
+// with prefetch annotations are drawn doubled.
+func (d *DFSM) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph dfsm {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n")
+	for _, s := range d.States {
+		label := "{}"
+		if len(s.Elements) > 0 {
+			var eb strings.Builder
+			eb.WriteByte('{')
+			for i, e := range s.Elements {
+				if i > 0 {
+					eb.WriteByte(' ')
+				}
+				fmt.Fprintf(&eb, "[v%d,%d]", e.Stream, e.Seen)
+			}
+			eb.WriteByte('}')
+			label = eb.String()
+		}
+		shape := "circle"
+		if len(s.Prefetches) > 0 {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [label=%q shape=%s];\n", s.ID, label, shape)
+	}
+	// Deterministic edge order.
+	type edge struct {
+		from int
+		r    ref.Ref
+		to   int
+	}
+	edges := make([]edge, 0, len(d.trans))
+	for tk, to := range d.trans {
+		edges = append(edges, edge{from: tk.state, r: tk.r, to: to.ID})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, e := edges[i], edges[j]
+		if a.from != e.from {
+			return a.from < e.from
+		}
+		if a.r.PC != e.r.PC {
+			return a.r.PC < e.r.PC
+		}
+		if a.r.Addr != e.r.Addr {
+			return a.r.Addr < e.r.Addr
+		}
+		return a.to < e.to
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  s%d -> s%d [label=\"pc%d:0x%x\"];\n", e.from, e.to, e.r.PC, e.r.Addr)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

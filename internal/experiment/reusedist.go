@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+
+	"hotprefetch/internal/machine"
+	"hotprefetch/internal/reuse"
+	"hotprefetch/internal/workload"
+)
+
+// ReuseResult reports the reuse-distance structure of a benchmark's demand
+// reference stream, in cache blocks. The paper's effect requires stream
+// reuse distances beyond the L2 capacity — blocks evicted between
+// traversals are what prefetching brings back early — so this experiment
+// validates the substrate: a large share of warm accesses must have
+// distances past L2, and the L1/L2 capacities must fall inside the
+// distribution rather than beyond it.
+type ReuseResult struct {
+	Name      string
+	Accesses  uint64
+	WithinL1  float64 // warm accesses with distance < L1 capacity (hits)
+	WithinL2  float64 // warm accesses with distance in [L1, L2)
+	BeyondL2  float64 // warm accesses with distance >= L2 capacity (misses)
+	ColdShare float64 // first touches
+}
+
+// blockRecorder captures the first `budget` demand accesses as block
+// numbers.
+type blockRecorder struct {
+	blocks []uint64
+	budget int
+	shift  uint
+}
+
+func (r *blockRecorder) OnAccess(now uint64, pc int, addr uint64, l1Hit, l2Hit bool) {
+	if len(r.blocks) < r.budget {
+		r.blocks = append(r.blocks, addr>>r.shift)
+	}
+}
+
+// ReuseDistances measures each benchmark's reuse-distance distribution over
+// its first `accesses` demand references (default 300000).
+func ReuseDistances(params []workload.Params, accesses int) ([]ReuseResult, error) {
+	if params == nil {
+		params = workload.Catalog()
+	}
+	if accesses <= 0 {
+		accesses = 300000
+	}
+	cache := workload.CacheConfig()
+	l1Blocks := uint64(cache.L1Size / cache.BlockSize)
+	l2Blocks := uint64(cache.L2Size / cache.BlockSize)
+
+	out := make([]ReuseResult, 0, len(params))
+	for _, p := range params {
+		inst := workload.Build(p)
+		m := inst.NewMachine(cache, false)
+		rec := &blockRecorder{budget: accesses, shift: 5} // 32-byte blocks
+		m.Cache.SetObserver(rec)
+		m.Start()
+		for len(rec.blocks) < rec.budget {
+			st, err := m.Run(1 << 22)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			if st != machine.CycleLimit {
+				break
+			}
+		}
+
+		h := reuse.Compute(rec.blocks, []uint64{l1Blocks, l2Blocks})
+		warm := float64(h.Total - h.Cold)
+		res := ReuseResult{Name: p.Name, Accesses: h.Total}
+		if warm > 0 {
+			res.WithinL1 = float64(h.Counts[0]) / warm
+			res.WithinL2 = float64(h.Counts[1]) / warm
+			res.BeyondL2 = float64(h.Beyond) / warm
+		}
+		if h.Total > 0 {
+			res.ColdShare = float64(h.Cold) / float64(h.Total)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndProgress(t *testing.T) {
+	mem := make([]uint64, 1024)
+	a := NewArena(mem, 0)
+	p1 := a.Alloc(1) // rounds to 8
+	p2 := a.Alloc(8)
+	p3 := a.Alloc(13) // rounds to 16
+	p4 := a.Alloc(8)
+	if p1%WordSize != 0 || p2%WordSize != 0 || p3%WordSize != 0 {
+		t.Error("allocations must be word-aligned")
+	}
+	if p2 != p1+8 || p3 != p2+8 || p4 != p3+16 {
+		t.Errorf("bump allocation broken: %d %d %d %d", p1, p2, p3, p4)
+	}
+	if p1 == 0 {
+		t.Error("address 0 must stay reserved as nil")
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on arena exhaustion")
+		}
+	}()
+	a := NewArena(make([]uint64, 4), 0)
+	a.Alloc(1 << 20)
+}
+
+func TestReadWrite(t *testing.T) {
+	a := NewArena(make([]uint64, 64), 0)
+	p := a.AllocWords(4)
+	a.Write(p+8, 77)
+	if got := a.Read(p + 8); got != 77 {
+		t.Errorf("Read = %d, want 77", got)
+	}
+}
+
+func TestListSequentialLayout(t *testing.T) {
+	a := NewArena(make([]uint64, 1024), 0)
+	addrs := a.List(5, 4, 1, nil, 0)
+	if len(addrs) != 5 {
+		t.Fatalf("len = %d, want 5", len(addrs))
+	}
+	for i := 0; i < 4; i++ {
+		if addrs[i+1] != addrs[i]+4*WordSize {
+			t.Errorf("sequential layout broken at %d: %d -> %d", i, addrs[i], addrs[i+1])
+		}
+		if next := a.Read(addrs[i] + WordSize); next != addrs[i+1] {
+			t.Errorf("link %d = %d, want %d", i, next, addrs[i+1])
+		}
+	}
+	if last := a.Read(addrs[4] + WordSize); last != 0 {
+		t.Errorf("tail next = %d, want nil", last)
+	}
+}
+
+func TestListScatteredLayoutPreservesLogicalLinks(t *testing.T) {
+	a := NewArena(make([]uint64, 4096), 0)
+	perm := ShuffledPerm(32, 42)
+	addrs := a.List(32, 4, 0, perm, 0)
+	// Logical chain must visit all 32 nodes in order regardless of layout.
+	cur := addrs[0]
+	for i := 0; i < 31; i++ {
+		next := a.Read(cur)
+		if next != addrs[i+1] {
+			t.Fatalf("chain broken at %d", i)
+		}
+		cur = next
+	}
+	if a.Read(cur) != 0 {
+		t.Error("chain must end in nil")
+	}
+	// With a shuffle, at least one logical successor must be physically
+	// non-adjacent.
+	adjacent := 0
+	for i := 0; i < 31; i++ {
+		if addrs[i+1] == addrs[i]+4*WordSize {
+			adjacent++
+		}
+	}
+	if adjacent == 31 {
+		t.Error("shuffled layout is fully sequential")
+	}
+}
+
+func TestListGapBreaksBlockAdjacency(t *testing.T) {
+	a := NewArena(make([]uint64, 4096), 0)
+	addrs := a.List(8, 2, 0, nil, 48)
+	for i := 0; i < 7; i++ {
+		if addrs[i+1]-addrs[i] < 2*WordSize+48 {
+			t.Errorf("gap not honored between nodes %d and %d", i, i+1)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	a := NewArena(make([]uint64, 1024), 0)
+	addrs := a.Ring(4, 2, 1, nil, 0)
+	if a.Read(addrs[3]+WordSize) != addrs[0] {
+		t.Error("ring must close back to the head")
+	}
+}
+
+func TestTable(t *testing.T) {
+	a := NewArena(make([]uint64, 1024), 0)
+	vals := []uint64{10, 20, 30}
+	base := a.Table(vals)
+	for i, v := range vals {
+		if got := a.Read(base + uint64(i)*WordSize); got != v {
+			t.Errorf("table[%d] = %d, want %d", i, got, v)
+		}
+	}
+}
+
+func TestShuffledPermDeterministic(t *testing.T) {
+	p1 := ShuffledPerm(100, 7)
+	p2 := ShuffledPerm(100, 7)
+	p3 := ShuffledPerm(100, 8)
+	same := true
+	diff := false
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			same = false
+		}
+		if p1[i] != p3[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed must give same permutation")
+	}
+	if !diff {
+		t.Error("different seeds should give different permutations")
+	}
+}
+
+// Property: ShuffledPerm is always a valid permutation.
+func TestPropertyShuffledPermIsPermutation(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		size := int(n%64) + 1
+		perm := ShuffledPerm(size, seed)
+		seen := make([]bool, size)
+		for _, v := range perm {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: List never aliases two logical nodes to the same address.
+func TestPropertyListNodesDistinct(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		size := int(n%32) + 2
+		a := NewArena(make([]uint64, 1<<14), 0)
+		addrs := a.List(size, 4, 0, ShuffledPerm(size, seed), 0)
+		seen := make(map[uint64]bool)
+		for _, p := range addrs {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,428 @@
+package hotds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotprefetch/internal/sequitur"
+)
+
+func grammarOf(s string) *sequitur.Snapshot {
+	g := sequitur.New()
+	for _, c := range s {
+		g.Append(uint64(c - 'a'))
+	}
+	return g.Snapshot()
+}
+
+func wordString(w []uint64) string {
+	b := make([]byte, len(w))
+	for i, v := range w {
+		b[i] = byte('a' + v)
+	}
+	return string(b)
+}
+
+// paperConfig is the worked example's configuration: H = 8, minLen = 2,
+// maxLen = 7, no uniqueness filter (§2.3).
+func paperConfig() Config {
+	return Config{MinLen: 2, MaxLen: 7, Heat: 8}
+}
+
+// TestPaperTable1 reproduces the values of paper Table 1 / Figure 6 for
+// w = abaabcabcabcabc: indices, uses, coldUses, heat, and hotness per rule.
+func TestPaperTable1(t *testing.T) {
+	snap := grammarOf("abaabcabcabcabc")
+	streams, stats := AnalyzeDetailed(snap, paperConfig())
+
+	// Collect stats by expansion so the test is independent of rule
+	// discovery order.
+	byWord := map[string]RuleStats{}
+	for _, st := range stats {
+		byWord[wordString(snap.Expand(st.Rule))] = st
+	}
+
+	type row struct {
+		word                      string
+		length, index, uses, cold uint64
+		heat                      uint64
+		hot                       bool
+	}
+	rows := []row{
+		{"abaabcabcabcabc", 15, 0, 1, 1, 15, false}, // S: "no, start"
+		{"ab", 2, 3, 5, 1, 2, false},                // A: "no, cold"
+		{"abcabc", 6, 1, 2, 2, 12, true},            // B: "yes"
+		{"abc", 3, 2, 4, 0, 0, false},               // C: "no, cold"
+	}
+	for _, want := range rows {
+		got, ok := byWord[want.word]
+		if !ok {
+			t.Errorf("no rule expanding to %q", want.word)
+			continue
+		}
+		if uint64(got.Index) != want.index || got.Len != want.length ||
+			got.Uses != want.uses || got.ColdUses != want.cold ||
+			got.Heat != want.heat || got.Hot != want.hot {
+			t.Errorf("%q: got index=%d len=%d uses=%d cold=%d heat=%d hot=%v, "+
+				"want index=%d len=%d uses=%d cold=%d heat=%d hot=%v",
+				want.word, got.Index, got.Len, got.Uses, got.ColdUses, got.Heat, got.Hot,
+				want.index, want.length, want.uses, want.cold, want.heat, want.hot)
+		}
+	}
+
+	// The paper finds exactly one hot data stream, w_B = abcabc with heat 12
+	// accounting for 12/15 = 80% of all data references.
+	if len(streams) != 1 {
+		t.Fatalf("found %d hot streams, want 1", len(streams))
+	}
+	if wordString(streams[0].Word) != "abcabc" || streams[0].Heat != 12 {
+		t.Errorf("stream = %q heat %d, want abcabc heat 12",
+			wordString(streams[0].Word), streams[0].Heat)
+	}
+	if cov := streams[0].Coverage(15); cov != 0.8 {
+		t.Errorf("coverage = %v, want 0.8", cov)
+	}
+}
+
+func TestEmptyGrammar(t *testing.T) {
+	g := sequitur.New()
+	if s := Analyze(g.Snapshot(), DefaultConfig()); len(s) != 0 {
+		t.Errorf("empty grammar produced %d streams", len(s))
+	}
+}
+
+func TestHeatThresholdFromCoverage(t *testing.T) {
+	cfg := Config{MinCoverage: 0.01}
+	if h := cfg.threshold(100000); h != 1000 {
+		t.Errorf("threshold = %d, want 1000", h)
+	}
+	cfg = Config{Heat: 42, MinCoverage: 0.5}
+	if h := cfg.threshold(100000); h != 42 {
+		t.Errorf("explicit Heat must win, got %d", h)
+	}
+	cfg = Config{MinCoverage: 0.01}
+	if h := cfg.threshold(10); h != 1 {
+		t.Errorf("threshold floor = %d, want 1", h)
+	}
+}
+
+func TestMinUniqueFilter(t *testing.T) {
+	// "ababab..." has streams with only 2 unique symbols.
+	snap := grammarOf("abababababababababababababababab")
+	cfg := Config{MinLen: 2, MaxLen: 16, Heat: 8}
+	withFilter := cfg
+	withFilter.MinUnique = 3
+	if s := Analyze(snap, cfg); len(s) == 0 {
+		t.Fatal("expected hot streams without uniqueness filter")
+	}
+	if s := Analyze(snap, withFilter); len(s) != 0 {
+		t.Errorf("uniqueness filter should reject 2-symbol streams, got %d", len(s))
+	}
+}
+
+func TestMaxStreamsKeepsHottest(t *testing.T) {
+	// Two distinct repeating patterns of different frequencies.
+	var in string
+	for i := 0; i < 8; i++ {
+		in += "abcd"
+	}
+	for i := 0; i < 4; i++ {
+		in += "efgh"
+	}
+	snap := grammarOf(in)
+	cfg := Config{MinLen: 2, MaxLen: 8, Heat: 8, MaxStreams: 1}
+	streams := Analyze(snap, cfg)
+	if len(streams) != 1 {
+		t.Fatalf("got %d streams, want 1", len(streams))
+	}
+	all := Analyze(snap, Config{MinLen: 2, MaxLen: 8, Heat: 8})
+	if len(all) < 2 {
+		t.Skipf("grammar yielded %d streams; cannot compare", len(all))
+	}
+	if streams[0].Heat < all[1].Heat {
+		t.Error("MaxStreams must keep the hottest stream")
+	}
+}
+
+func TestStreamsSortedByHeat(t *testing.T) {
+	var in string
+	for i := 0; i < 10; i++ {
+		in += "abcabcxyzxyz"
+	}
+	streams := Analyze(grammarOf(in), Config{MinLen: 2, MaxLen: 24, Heat: 4})
+	for i := 1; i < len(streams); i++ {
+		if streams[i].Heat > streams[i-1].Heat {
+			t.Fatalf("streams not sorted by heat: %d before %d",
+				streams[i-1].Heat, streams[i].Heat)
+		}
+	}
+}
+
+// Property: analysis is linear-time-safe and conservative — every reported
+// stream's heat meets the threshold, its length is within bounds, and its
+// word actually occurs in the original trace.
+func TestPropertyReportedStreamsAreValid(t *testing.T) {
+	f := func(data []byte, rep uint8) bool {
+		// Build a trace with guaranteed repetition.
+		unit := make([]uint64, 0, 8)
+		for _, d := range data {
+			unit = append(unit, uint64(d%6))
+			if len(unit) == 8 {
+				break
+			}
+		}
+		if len(unit) == 0 {
+			unit = []uint64{0, 1}
+		}
+		var trace []uint64
+		reps := int(rep%20) + 2
+		for i := 0; i < reps; i++ {
+			trace = append(trace, unit...)
+		}
+		g := sequitur.New()
+		g.AppendAll(trace)
+		snap := g.Snapshot()
+		cfg := Config{MinLen: 2, MaxLen: 50, Heat: 4}
+		streams := Analyze(snap, cfg)
+		for _, s := range streams {
+			if s.Heat < 4 {
+				return false
+			}
+			l := uint64(len(s.Word))
+			if l < cfg.MinLen || l > cfg.MaxLen {
+				return false
+			}
+			if !containsSub(trace, s.Word) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hot streams of the fast analysis never overlap-subsume each
+// other entirely in heat accounting — total heat cannot exceed the trace
+// length (coldUses discipline guarantees non-double-counting).
+func TestPropertyTotalHeatBounded(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		trace := make([]uint64, 0, len(data)*4)
+		for _, d := range data {
+			v := uint64(d % 8)
+			trace = append(trace, v, v+1, v, v+2)
+		}
+		g := sequitur.New()
+		g.AppendAll(trace)
+		streams := Analyze(g.Snapshot(), Config{MinLen: 2, MaxLen: 1 << 20, Heat: 2})
+		return TotalHeat(streams) <= uint64(len(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPreciseFindsKnownStream(t *testing.T) {
+	var trace []uint64
+	for i := 0; i < 10; i++ {
+		trace = append(trace, 1, 2, 3, 4, 5)
+		trace = append(trace, uint64(100+i)) // noise separator
+	}
+	streams := PreciseAnalyze(trace, Config{MinLen: 5, MaxLen: 10, Heat: 25})
+	if len(streams) == 0 {
+		t.Fatal("precise analysis found nothing")
+	}
+	found := false
+	for _, s := range streams {
+		if len(s.Word) == 5 && s.Word[0] == 1 && s.Word[4] == 5 {
+			found = true
+			if s.Heat != 50 {
+				t.Errorf("heat = %d, want 50 (5 long x 10 occurrences)", s.Heat)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected stream 1..5 in %v", streams)
+	}
+}
+
+func TestPreciseCountsNonOverlapping(t *testing.T) {
+	// "aaaa..." of length 12: the stream "aaa" occurs 4 times
+	// non-overlapping, not 10 times.
+	trace := make([]uint64, 12)
+	streams := PreciseAnalyze(trace, Config{MinLen: 3, MaxLen: 3, Heat: 6})
+	if len(streams) != 1 {
+		t.Fatalf("got %d streams, want 1", len(streams))
+	}
+	if streams[0].Heat != 12 {
+		t.Errorf("heat = %d, want 12 (3 x 4 non-overlapping)", streams[0].Heat)
+	}
+}
+
+func TestPreciseSubsumption(t *testing.T) {
+	var trace []uint64
+	for i := 0; i < 20; i++ {
+		trace = append(trace, 1, 2, 3, 4)
+	}
+	streams := PreciseAnalyze(trace, Config{MinLen: 2, MaxLen: 8, Heat: 8})
+	// The 8-long "12341234" (or a rotation) should subsume shorter
+	// substrings of equal or lower heat; regardless, no reported stream may
+	// be a substring of a hotter reported one.
+	for i, a := range streams {
+		for j, b := range streams {
+			if i == j {
+				continue
+			}
+			if len(a.Word) < len(b.Word) && a.Heat <= b.Heat && containsSub(b.Word, a.Word) {
+				t.Errorf("stream %v subsumed by %v but still reported", a, b)
+			}
+		}
+	}
+}
+
+// Property: the fast analysis is an approximation of the precise one —
+// every stream the fast algorithm reports is re-discovered by the precise
+// detector, either verbatim or as a substring of a hotter stream (its
+// subsumption rule). This is the paper's "faster, less precise" relationship
+// (§2.3) stated as an inclusion.
+func TestPropertyFastStreamsFoundByPrecise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var trace []uint64
+		unit := []uint64{1, 2, 3, 4, 5, 6}
+		for i := 0; i < 30; i++ {
+			if r.Intn(4) == 0 {
+				trace = append(trace, uint64(50+r.Intn(20)))
+			} else {
+				trace = append(trace, unit...)
+			}
+		}
+		cfg := Config{MinLen: 3, MaxLen: 30, Heat: 12}
+		g := sequitur.New()
+		g.AppendAll(trace)
+		fast := Analyze(g.Snapshot(), cfg)
+		precise := PreciseAnalyze(trace, cfg)
+		for _, fs := range fast {
+			covered := false
+			for _, ps := range precise {
+				if containsSub(ps.Word, fs.Word) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageOf(t *testing.T) {
+	trace := []uint64{1, 2, 3, 1, 2, 3, 9, 9}
+	streams := []StreamInfo{{Word: []uint64{1, 2, 3}, Heat: 6}}
+	if cov := CoverageOf(trace, streams); cov != 0.75 {
+		t.Errorf("coverage = %v, want 0.75", cov)
+	}
+	if cov := CoverageOf(nil, streams); cov != 0 {
+		t.Errorf("empty trace coverage = %v, want 0", cov)
+	}
+	if cov := CoverageOf(trace, nil); cov != 0 {
+		t.Errorf("no-stream coverage = %v, want 0", cov)
+	}
+}
+
+func buildBenchTrace(n int) []uint64 {
+	r := rand.New(rand.NewSource(7))
+	streams := [][]uint64{}
+	for s := 0; s < 10; s++ {
+		st := make([]uint64, 15+r.Intn(10))
+		for i := range st {
+			st[i] = uint64(s*100 + i)
+		}
+		streams = append(streams, st)
+	}
+	var trace []uint64
+	for len(trace) < n {
+		if r.Intn(10) == 0 {
+			trace = append(trace, uint64(10000+r.Intn(1000)))
+		} else {
+			trace = append(trace, streams[r.Intn(len(streams))]...)
+		}
+	}
+	return trace[:n]
+}
+
+// BenchmarkFastAnalysis measures the Figure 5 algorithm (grammar build +
+// analysis), the per-cycle cost the paper's Hds bar pays (Figure 11).
+func BenchmarkFastAnalysis(b *testing.B) {
+	trace := buildBenchTrace(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := sequitur.New()
+		g.AppendAll(trace)
+		Analyze(g.Snapshot(), DefaultConfig())
+	}
+}
+
+// BenchmarkPreciseAnalysis measures the Larus-style exact detector on the
+// same trace — the fast-vs-precise ablation's other arm.
+func BenchmarkPreciseAnalysis(b *testing.B) {
+	trace := buildBenchTrace(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PreciseAnalyze(trace, DefaultConfig())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	streams := []StreamInfo{
+		{Word: []uint64{1, 2, 3, 4}, Heat: 40},
+		{Word: []uint64{5, 6}, Heat: 10},
+	}
+	s := Summarize(streams, 100)
+	if s.Streams != 2 || s.TotalHeat != 50 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MinLen != 2 || s.MaxLen != 4 || s.AvgLen != 3 {
+		t.Errorf("length stats = %+v", s)
+	}
+	if s.Coverage != 0.5 || s.AvgHeat != 25 {
+		t.Errorf("heat stats = %+v", s)
+	}
+	if empty := Summarize(nil, 100); empty.Streams != 0 || empty.Coverage != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestMergeIdenticalWords(t *testing.T) {
+	streams := []StreamInfo{
+		{Word: []uint64{1, 2, 3}, Heat: 30},
+		{Word: []uint64{4, 5, 6}, Heat: 20},
+		{Word: []uint64{1, 2, 3}, Heat: 12}, // same word as the first
+	}
+	merged := mergeIdenticalWords(streams)
+	if len(merged) != 2 {
+		t.Fatalf("merged to %d streams, want 2", len(merged))
+	}
+	found := false
+	for _, s := range merged {
+		if len(s.Word) == 3 && s.Word[0] == 1 {
+			found = true
+			if s.Heat != 42 {
+				t.Errorf("merged heat = %d, want 42", s.Heat)
+			}
+		}
+	}
+	if !found {
+		t.Error("merged stream missing")
+	}
+}

@@ -1,0 +1,186 @@
+package hotds
+
+// Precise hot data stream detection over the raw trace, standing in for the
+// Larus whole-program-paths algorithm the paper cites as the slower, more
+// precise alternative (§2.3, reference [21]). The fast Figure 5 algorithm
+// only reports whole nonterminal expansions; this detector considers every
+// subsequence with length in [MinLen, MaxLen], so it finds hot streams that
+// straddle rule boundaries at the cost of O(trace × length-range) work.
+//
+// Occurrences are counted non-overlapping (greedy left-to-right), matching
+// the paper's definition of v.frequency. Windows are bucketed by a 128-bit
+// polynomial hash; the two independent hash halves make accidental
+// collisions negligible for the trace sizes the online analysis handles.
+
+const (
+	hashBase1 uint64 = 1000003
+	hashBase2 uint64 = 16777619
+)
+
+// PreciseAnalyze detects hot data streams directly from the trace. Unlike
+// Analyze it does not need a grammar, but its running time grows with the
+// product of trace length and the [MinLen, MaxLen] range.
+func PreciseAnalyze(trace []uint64, cfg Config) []StreamInfo {
+	n := uint64(len(trace))
+	if n == 0 || cfg.MaxLen == 0 || cfg.MinLen > n {
+		return nil
+	}
+	h := cfg.threshold(n)
+	maxLen := cfg.MaxLen
+	if maxLen > n {
+		maxLen = n
+	}
+	minLen := cfg.MinLen
+	if minLen == 0 {
+		minLen = 1
+	}
+
+	type hkey struct{ h1, h2 uint64 }
+	var candidates []StreamInfo
+	positions := make(map[hkey][]int)
+
+	for length := minLen; length <= maxLen; length++ {
+		l := int(length)
+		// The most frequent window of this length occurs at most n/length
+		// times non-overlapping; skip lengths that cannot reach the
+		// threshold.
+		if length*(n/length) < h {
+			continue
+		}
+		clear(positions)
+		// Rolling hashes of every window of this length.
+		var p1, p2 uint64 = 1, 1
+		for i := 0; i < l-1; i++ {
+			p1 *= hashBase1
+			p2 *= hashBase2
+		}
+		var h1, h2 uint64
+		for i := 0; i < l; i++ {
+			h1 = h1*hashBase1 + trace[i]
+			h2 = h2*hashBase2 + trace[i]
+		}
+		positions[hkey{h1, h2}] = append(positions[hkey{h1, h2}], 0)
+		for i := l; i < int(n); i++ {
+			h1 = (h1-trace[i-l]*p1)*hashBase1 + trace[i]
+			h2 = (h2-trace[i-l]*p2)*hashBase2 + trace[i]
+			k := hkey{h1, h2}
+			positions[k] = append(positions[k], i-l+1)
+		}
+		// Count non-overlapping occurrences greedily per bucket.
+		for _, pos := range positions {
+			if len(pos) < 2 {
+				continue
+			}
+			count := uint64(0)
+			lastEnd := -1
+			first := -1
+			for _, p := range pos {
+				if p >= lastEnd {
+					if first < 0 {
+						first = p
+					}
+					count++
+					lastEnd = p + l
+				}
+			}
+			heat := length * count
+			if count >= 2 && heat >= h {
+				word := append([]uint64(nil), trace[first:first+l]...)
+				if cfg.MinUnique > 0 && uniqueCount(word) < cfg.MinUnique {
+					continue
+				}
+				candidates = append(candidates, StreamInfo{Word: word, Heat: heat})
+			}
+		}
+	}
+
+	// Subsumption: drop streams that are substrings of an already-kept
+	// hotter (or equally hot) stream — they carry no extra prefetching
+	// opportunity.
+	sortStreams(candidates)
+	var kept []StreamInfo
+	for _, c := range candidates {
+		subsumed := false
+		for _, k := range kept {
+			if len(c.Word) <= len(k.Word) && containsSub(k.Word, c.Word) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			kept = append(kept, c)
+		}
+	}
+	if cfg.MaxStreams > 0 && len(kept) > cfg.MaxStreams {
+		kept = kept[:cfg.MaxStreams]
+	}
+	return kept
+}
+
+// uniqueCount counts distinct symbols in word.
+func uniqueCount(word []uint64) int {
+	seen := make(map[uint64]struct{}, len(word))
+	for _, v := range word {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}
+
+// containsSub reports whether needle occurs as a contiguous subsequence of
+// hay.
+func containsSub(hay, needle []uint64) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// CoverageOf computes the fraction of the trace accounted for by a stream
+// set, counting each trace position at most once (greedy non-overlapping
+// matching of each stream, hottest first). It is used by the fast-vs-precise
+// ablation to compare detection quality.
+func CoverageOf(trace []uint64, streams []StreamInfo) float64 {
+	if len(trace) == 0 || len(streams) == 0 {
+		return 0
+	}
+	covered := make([]bool, len(trace))
+	ordered := append([]StreamInfo(nil), streams...)
+	sortStreams(ordered)
+	for _, s := range ordered {
+		w := s.Word
+		if len(w) == 0 || len(w) > len(trace) {
+			continue
+		}
+	scan:
+		for i := 0; i+len(w) <= len(trace); i++ {
+			for j := range w {
+				if trace[i+j] != w[j] || covered[i+j] {
+					continue scan
+				}
+			}
+			for j := range w {
+				covered[i+j] = true
+			}
+			i += len(w) - 1
+		}
+	}
+	n := 0
+	for _, c := range covered {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(trace))
+}

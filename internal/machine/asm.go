@@ -1,0 +1,310 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a program in the textual assembly format and builds it.
+// The format is line-oriented:
+//
+//	; comment
+//	proc main            ; start a procedure
+//	  const r1, 100
+//	head:                ; label
+//	  load r2, [r1+8]
+//	  store [r1+16], r2
+//	  arith 3
+//	  check              ; explicit bursty-tracing check site
+//	  prefetch [r2+0]
+//	  loop r1, head
+//	  beqz r2, head
+//	  call helper
+//	  ret
+//
+// The first procedure is the entry point unless one is named "main".
+// Offsets in memory operands may be negative; registers are r0..r15.
+func Assemble(src string) (*Program, error) {
+	b := NewBuilder()
+	var pb *ProcBuilder
+	entry := ""
+	first := ""
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("asm: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+
+		if line == "proc" || strings.HasPrefix(line, "proc ") {
+			name := strings.TrimSpace(strings.TrimPrefix(line, "proc"))
+			if name == "" {
+				return nil, fail("proc needs a name")
+			}
+			pb = b.Proc(name)
+			if first == "" {
+				first = name
+			}
+			if name == "main" {
+				entry = "main"
+			}
+			continue
+		}
+		if pb == nil {
+			return nil, fail("instruction outside a proc")
+		}
+		if label, ok := strings.CutSuffix(line, ":"); ok {
+			if strings.ContainsAny(label, " \t") {
+				return nil, fail("malformed label %q", label)
+			}
+			pb.Label(label)
+			continue
+		}
+
+		op, rest, _ := strings.Cut(line, " ")
+		args := splitArgs(rest)
+		if err := emit(pb, op, args); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if entry == "" {
+		entry = first
+	}
+	if entry == "" {
+		return nil, fmt.Errorf("asm: no procedures defined")
+	}
+	return b.Build(entry)
+}
+
+// splitArgs splits "r1, [r2+8]" into {"r1", "[r2+8]"}.
+func splitArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func emit(pb *ProcBuilder, op string, args []string) error {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		pb.Nop()
+	case "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		pb.Ret()
+	case "check":
+		if err := need(0); err != nil {
+			return err
+		}
+		pb.Check()
+	case "arith":
+		if err := need(1); err != nil {
+			return err
+		}
+		n, err := parseImm(args[0])
+		if err != nil {
+			return err
+		}
+		pb.Arith(n)
+	case "const":
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		n, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		pb.Const(r, n)
+	case "move":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		pb.Move(d, s)
+	case "addimm":
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		n, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		pb.AddImm(d, s, n)
+	case "load":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		pb.Load(d, base, off)
+	case "store":
+		if err := need(2); err != nil {
+			return err
+		}
+		base, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		pb.Store(base, off, s)
+	case "prefetch":
+		if err := need(1); err != nil {
+			return err
+		}
+		base, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		pb.Prefetch(base, off)
+	case "loop":
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		pb.Loop(r, args[1])
+	case "jump":
+		if err := need(1); err != nil {
+			return err
+		}
+		pb.Jump(args[0])
+	case "beqz":
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		pb.Beqz(r, args[1])
+	case "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		pb.Bnez(r, args[1])
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		pb.Call(args[0])
+	case "calli":
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		pb.CallReg(r)
+	case "constproc":
+		if err := need(2); err != nil {
+			return err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		pb.ConstProc(r, args[1])
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	return nil
+}
+
+func parseReg(s string) (Reg, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return n, nil
+}
+
+// parseMem parses "[rN+off]" or "[rN-off]" or "[rN]".
+func parseMem(s string) (Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("expected memory operand [rN+off], got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := strconv.ParseInt(inner[sep:], 0, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, off, nil
+}

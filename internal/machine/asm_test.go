@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"hotprefetch/internal/memsim"
+)
+
+func asmCache() memsim.Config {
+	return memsim.Config{
+		BlockSize: 32, L1Size: 256, L1Assoc: 2, L2Size: 512, L2Assoc: 2,
+		L2HitLatency: 10, MemLatency: 100,
+	}
+}
+
+func TestAssembleAndRun(t *testing.T) {
+	prog, err := Assemble(`
+; sum 10 values via a pointer walk
+proc main
+  const r1, 10
+  const r2, 0x100     ; cursor
+  const r3, 0         ; sum
+head:
+  load r4, [r2+0]
+  addimm r3, r3, 1
+  addimm r2, r2, 8
+  arith 2
+  loop r1, head
+  call finish
+  ret
+
+proc finish
+  const r5, 0x400
+  store [r5+0], r3
+  ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1<<10, asmCache())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 10 {
+		t.Errorf("r3 = %d, want 10", m.Regs[3])
+	}
+	if m.ReadWord(0x400) != 10 {
+		t.Errorf("Mem[0x400] = %d, want 10", m.ReadWord(0x400))
+	}
+	if m.Stats.Refs != 11 { // 10 loads + 1 store
+		t.Errorf("refs = %d, want 11", m.Stats.Refs)
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	prog, err := Assemble(`
+proc main
+  nop
+  check
+  const r1, 2
+  move r2, r1
+  addimm r2, r2, -1
+  arith 1
+  const r3, 0x80
+  load r4, [r3]
+  load r4, [r3+8]
+  store [r3-0], r4
+  prefetch [r3+32]
+  beqz r4, skip
+  nop
+skip:
+  bnez r1, over
+  nop
+over:
+  jump end
+  nop
+end:
+  loop r1, end2
+end2:
+  ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1<<10, asmCache())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleEntrySelection(t *testing.T) {
+	// "main" wins even when defined second.
+	prog, err := Assemble("proc other\n const r1, 1\n ret\nproc main\n const r1, 2\n ret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 64, asmCache())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 2 {
+		t.Errorf("entry should be main; r1 = %d", m.Regs[1])
+	}
+
+	// Without main, the first procedure is the entry.
+	prog2, err := Assemble("proc alpha\n const r1, 7\n ret\nproc beta\n ret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(prog2, 64, asmCache())
+	if err := m2.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Regs[1] != 7 {
+		t.Errorf("entry should be alpha; r1 = %d", m2.Regs[1])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no procs", "nop\n", "outside a proc"},
+		{"empty", "; nothing\n", "no procedures"},
+		{"bad mnemonic", "proc p\n frobnicate r1\n ret\n", "unknown mnemonic"},
+		{"bad register", "proc p\n const r99, 1\n ret\n", "bad register"},
+		{"bad immediate", "proc p\n const r1, xyz\n ret\n", "bad immediate"},
+		{"bad mem operand", "proc p\n load r1, r2\n ret\n", "memory operand"},
+		{"wrong arity", "proc p\n move r1\n ret\n", "needs 2 operands"},
+		{"unnamed proc", "proc \n ret\n", "proc needs a name"},
+		{"bad label", "proc p\n a b:\n ret\n", "malformed label"},
+		{"undefined label", "proc p\n jump nowhere\n ret\n", "undefined label"},
+		{"undefined call", "proc p\n call ghost\n ret\n", "undefined procedure"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAssembleDisasmRoundTripSemantics(t *testing.T) {
+	// Assembling the disassembly of an assembled program yields the same
+	// execution (labels become numeric targets in Disasm, so we compare
+	// behaviour rather than text).
+	src := `
+proc main
+  const r1, 5
+  const r2, 0x40
+h:
+  load r3, [r2+0]
+  addimm r2, r2, 32
+  loop r1, h
+  ret
+`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 1<<10, asmCache())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(prog, 1<<10, asmCache())
+	if err := m2.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles != m2.Cycles {
+		t.Error("re-running an assembled program must be deterministic")
+	}
+	if !strings.Contains(prog.Disasm(), "loop r1, @2") {
+		t.Errorf("unexpected disasm:\n%s", prog.Disasm())
+	}
+}
+
+func TestAssembleIndirectCall(t *testing.T) {
+	prog, err := Assemble(`
+proc main
+  constproc r1, target
+  calli r1
+  ret
+proc target
+  const r2, 77
+  ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog, 64, asmCache())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 77 {
+		t.Errorf("r2 = %d, want 77", m.Regs[2])
+	}
+	if !strings.Contains(prog.Disasm(), "calli r1") {
+		t.Errorf("disasm missing calli:\n%s", prog.Disasm())
+	}
+}

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders one instruction in a readable assembly-like form. Branch
+// targets are intra-procedure instruction indices.
+func (in Instr) Disasm() string {
+	traced := ""
+	if in.Traced {
+		traced = " !traced"
+	}
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpArith:
+		return fmt.Sprintf("arith %d", in.Imm)
+	case OpConst:
+		return fmt.Sprintf("const r%d, %d", in.Dst, in.Imm)
+	case OpAddImm:
+		return fmt.Sprintf("addimm r%d, r%d, %d", in.Dst, in.Src, in.Imm)
+	case OpMove:
+		return fmt.Sprintf("move r%d, r%d", in.Dst, in.Src)
+	case OpLoad:
+		return fmt.Sprintf("load r%d, [r%d+%d]%s", in.Dst, in.Src, in.Imm, traced)
+	case OpStore:
+		return fmt.Sprintf("store [r%d+%d], r%d%s", in.Dst, in.Imm, in.Src, traced)
+	case OpLoop:
+		return fmt.Sprintf("loop r%d, @%d", in.Dst, in.Imm)
+	case OpJump:
+		return fmt.Sprintf("jump @%d", in.Imm)
+	case OpBeqz:
+		return fmt.Sprintf("beqz r%d, @%d", in.Src, in.Imm)
+	case OpBnez:
+		return fmt.Sprintf("bnez r%d, @%d", in.Src, in.Imm)
+	case OpCall:
+		return fmt.Sprintf("call proc%d", in.Imm)
+	case OpCallIndirect:
+		return fmt.Sprintf("calli r%d", in.Src)
+	case OpRet:
+		return "ret"
+	case OpCheck:
+		return "check"
+	case OpMatch:
+		return fmt.Sprintf("match pc%d", in.Imm)
+	case OpPrefetch:
+		return fmt.Sprintf("prefetch [r%d+%d]", in.Src, in.Imm)
+	}
+	return fmt.Sprintf("op?%d", in.Op)
+}
+
+// Disasm renders a procedure's version as indexed assembly, one instruction
+// per line, annotated with stable PCs.
+func (p *Proc) Disasm(v Version) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", p.Name)
+	if p.Redirect != NoRedirect {
+		fmt.Fprintf(&b, " ; entry patched -> proc%d", p.Redirect)
+	}
+	if p.CloneOf != NoRedirect {
+		fmt.Fprintf(&b, " ; clone of proc%d", p.CloneOf)
+	}
+	b.WriteByte('\n')
+	for i, in := range p.Body[v] {
+		pc := "  inj"
+		if in.PC != InjectedPC {
+			pc = fmt.Sprintf("pc%3d", in.PC)
+		}
+		fmt.Fprintf(&b, "  %4d %s  %s\n", i, pc, in.Disasm())
+	}
+	return b.String()
+}
+
+// Disasm renders the whole program (checking version) for debugging.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for i, proc := range p.Procs {
+		fmt.Fprintf(&b, "; proc%d\n%s\n", i, proc.Disasm(VersionChecking))
+	}
+	return b.String()
+}

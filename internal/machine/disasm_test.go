@@ -1,0 +1,72 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisasmCoversAllOpcodes(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpArith, Imm: 5}, "arith 5"},
+		{Instr{Op: OpConst, Dst: 1, Imm: 42}, "const r1, 42"},
+		{Instr{Op: OpAddImm, Dst: 1, Src: 2, Imm: 8}, "addimm r1, r2, 8"},
+		{Instr{Op: OpMove, Dst: 3, Src: 4}, "move r3, r4"},
+		{Instr{Op: OpLoad, Dst: 5, Src: 6, Imm: 16}, "load r5, [r6+16]"},
+		{Instr{Op: OpLoad, Dst: 5, Src: 6, Traced: true}, "load r5, [r6+0] !traced"},
+		{Instr{Op: OpStore, Dst: 7, Src: 8, Imm: 24}, "store [r7+24], r8"},
+		{Instr{Op: OpLoop, Dst: 1, Imm: 3}, "loop r1, @3"},
+		{Instr{Op: OpJump, Imm: 9}, "jump @9"},
+		{Instr{Op: OpBeqz, Src: 2, Imm: 4}, "beqz r2, @4"},
+		{Instr{Op: OpBnez, Src: 2, Imm: 4}, "bnez r2, @4"},
+		{Instr{Op: OpCall, Imm: 1}, "call proc1"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpCheck}, "check"},
+		{Instr{Op: OpMatch, Imm: 17}, "match pc17"},
+		{Instr{Op: OpPrefetch, Src: 3, Imm: 8}, "prefetch [r3+8]"},
+	}
+	for _, c := range cases {
+		if got := c.in.Disasm(); got != c.want {
+			t.Errorf("Disasm(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := (Instr{Op: Opcode(99)}).Disasm(); !strings.HasPrefix(got, "op?") {
+		t.Errorf("unknown opcode disasm = %q", got)
+	}
+}
+
+func TestProcAndProgramDisasm(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 3).
+		Label("head").
+		Load(2, 1, 0).
+		Loop(1, "head").
+		Call("leaf").
+		Ret()
+	b.Proc("leaf").Ret()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Procs[1].Redirect = 0 // fake patch for rendering
+
+	out := p.Disasm()
+	for _, want := range []string{"main:", "leaf:", "const r1, 3", "loop r1, @1",
+		"call proc1", "entry patched -> proc0", "pc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program disasm missing %q:\n%s", want, out)
+		}
+	}
+
+	clone := &Proc{Name: "x", CloneOf: 0, Redirect: NoRedirect}
+	clone.Body[0] = []Instr{{Op: OpMatch, PC: InjectedPC, Imm: 5}, {Op: OpRet, PC: InjectedPC}}
+	clone.Body[1] = clone.Body[0]
+	out = clone.Disasm(VersionChecking)
+	if !strings.Contains(out, "clone of proc0") || !strings.Contains(out, "inj") {
+		t.Errorf("clone disasm missing annotations:\n%s", out)
+	}
+}

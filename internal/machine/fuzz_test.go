@@ -1,0 +1,42 @@
+package machine
+
+import "testing"
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must either return
+// an error or produce a program every instruction of which disassembles,
+// without panicking.
+func FuzzAssemble(f *testing.F) {
+	f.Add("proc main\n const r1, 10\nhead:\n load r2, [r1+8]\n loop r1, head\n ret\n")
+	f.Add("proc p\n jump nowhere\n ret\n")
+	f.Add("garbage")
+	f.Add("proc a\n call b\n ret\nproc b\n ret\n")
+	f.Add("proc p\n store [r3-16], r2\n prefetch [r0]\n ret\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		prog, err := Assemble(src)
+		if err != nil {
+			return // rejected input is fine
+		}
+		if prog.Entry < 0 || prog.Entry >= len(prog.Procs) {
+			t.Fatalf("entry %d out of range", prog.Entry)
+		}
+		for _, proc := range prog.Procs {
+			body := proc.Body[VersionChecking]
+			if n := len(body); n == 0 || body[n-1].Op != OpRet {
+				t.Fatal("accepted procedure must end with ret")
+			}
+			for i, in := range body {
+				if in.isBranch() && (in.Imm < 0 || in.Imm >= int64(len(body))) {
+					t.Fatalf("instruction %d branches out of range", i)
+				}
+				if in.Op == OpCall && (in.Imm < 0 || in.Imm >= int64(len(prog.Procs))) {
+					t.Fatalf("instruction %d calls out of range", i)
+				}
+				_ = in.Disasm()
+			}
+		}
+	})
+}

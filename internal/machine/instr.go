@@ -1,0 +1,157 @@
+// Package machine implements the execution substrate of the reproduction: a
+// small register/heap virtual instruction set, a deterministic interpreter
+// with cycle accounting, and a program builder.
+//
+// Substitution note (see DESIGN.md §2): the paper instruments and patches
+// native x86 binaries with Vulcan and runs them on real hardware. Go programs
+// cannot be binary-patched at runtime, so the reproduction executes workloads
+// written in this virtual ISA instead. Programs are first-class data
+// (procedures are instruction slices), which lets the vulcan package perform
+// the same operations dynamic Vulcan performs: duplicating procedure bodies
+// for bursty tracing, cloning procedures, injecting check/prefetch
+// instructions, overwriting procedure entries with jumps, and de-optimizing
+// by removing them. Every load and store produces a (pc, addr) data
+// reference, and the interpreter charges cache stall cycles through the
+// memsim hierarchy, so execution time responds to prefetching exactly as the
+// paper's platform does.
+package machine
+
+// Word is the machine word: values, addresses, and loop counters.
+type Word = uint64
+
+// Reg identifies one of the NumRegs general-purpose registers.
+type Reg = uint8
+
+// NumRegs is the size of the register file.
+const NumRegs = 16
+
+// Opcode enumerates the virtual instruction set.
+type Opcode uint8
+
+const (
+	// OpNop does nothing (1 cycle).
+	OpNop Opcode = iota
+
+	// OpArith models Imm cycles of pure computation (ALU work between
+	// memory references). It keeps the instruction count low while letting
+	// workloads control their compute-to-memory ratio.
+	OpArith
+
+	// OpConst sets R[Dst] = Imm.
+	OpConst
+
+	// OpAddImm sets R[Dst] = R[Src] + Imm.
+	OpAddImm
+
+	// OpMove sets R[Dst] = R[Src].
+	OpMove
+
+	// OpLoad performs R[Dst] = Mem[R[Src]+Imm]. It is a data reference
+	// (pc, addr) and consults the cache hierarchy. Loaded words are often
+	// pointers, enabling pointer-chasing traversals.
+	OpLoad
+
+	// OpStore performs Mem[R[Dst]+Imm] = R[Src]. It is a data reference and
+	// consults the cache hierarchy.
+	OpStore
+
+	// OpLoop decrements R[Dst] and jumps to instruction index Imm within
+	// the current procedure if the result is non-zero (a counted loop
+	// back-edge).
+	OpLoop
+
+	// OpJump jumps unconditionally to instruction index Imm.
+	OpJump
+
+	// OpBeqz jumps to index Imm if R[Src] == 0.
+	OpBeqz
+
+	// OpBnez jumps to index Imm if R[Src] != 0 (pointer-chase back-edge).
+	OpBnez
+
+	// OpCall invokes Procs[Imm]; OpRet returns to the caller. The entry
+	// procedure's OpRet halts the machine.
+	OpCall
+	OpRet
+
+	// OpCallIndirect invokes Procs[R[Src]] — function-pointer dispatch, as
+	// in object-database workloads with per-type handlers. The target is
+	// bounds-checked at execution time.
+	OpCallIndirect
+
+	// OpCheck is a bursty-tracing check site (procedure entry or loop
+	// back-edge, paper Figure 2). The runtime decides whether execution
+	// continues in the checking or the instrumented version of the code.
+	OpCheck
+
+	// OpMatch is injected by the dynamic optimizer after a memory
+	// instruction. It drives the prefix-matching DFSM with the preceding
+	// data reference (Imm holds that instruction's stable PC) and issues
+	// the prefetches attached to the reached state (paper Figure 7).
+	OpMatch
+
+	// OpPrefetch issues a non-blocking prefetch of address R[Src]+Imm
+	// (the prefetcht0 analog), for use by hand-written example programs.
+	OpPrefetch
+
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	OpNop:          "nop",
+	OpArith:        "arith",
+	OpConst:        "const",
+	OpAddImm:       "addimm",
+	OpMove:         "move",
+	OpLoad:         "load",
+	OpStore:        "store",
+	OpLoop:         "loop",
+	OpJump:         "jump",
+	OpBeqz:         "beqz",
+	OpBnez:         "bnez",
+	OpCall:         "call",
+	OpRet:          "ret",
+	OpCallIndirect: "calli",
+	OpCheck:        "check",
+	OpMatch:        "match",
+	OpPrefetch:     "prefetch",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// InjectedPC is the PC value carried by instructions inserted by the dynamic
+// optimizer; they are not part of the original program and never produce
+// profiled data references.
+const InjectedPC = -1
+
+// Instr is a single instruction. PC is the stable instruction identity
+// assigned when the program is built; it is preserved when procedures are
+// duplicated or cloned, so data references from clones remain attributable
+// to the original instruction (the property dynamic Vulcan relies on).
+type Instr struct {
+	Op     Opcode
+	Dst    Reg
+	Src    Reg
+	Traced bool // set on memory ops in the instrumented (profiling) version
+	PC     int32
+	Imm    int64
+}
+
+// IsMemRef reports whether the instruction produces a data reference.
+func (in Instr) IsMemRef() bool { return in.Op == OpLoad || in.Op == OpStore }
+
+// isBranch reports whether Imm is an intra-procedure instruction index that
+// must be remapped when instructions are inserted into a body.
+func (in Instr) isBranch() bool {
+	switch in.Op {
+	case OpLoop, OpJump, OpBeqz, OpBnez:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,369 @@
+package machine
+
+import (
+	"fmt"
+
+	"hotprefetch/internal/memsim"
+)
+
+// Runtime receives the interpreter's instrumentation events: bursty-tracing
+// checks, profiled data references, and injected DFSM match checks. Each
+// callback returns the number of cycles the corresponding inserted code would
+// cost, so overhead accounting is owned by the layer that generates the code.
+//
+// A nil Runtime executes the program with zero instrumentation cost — the
+// "original unoptimized program" baseline of the paper's Figure 12.
+type Runtime interface {
+	// Check is called at each OpCheck site. It returns the version in which
+	// execution continues and the cycle cost of the check itself.
+	Check(pc int) (Version, uint64)
+
+	// TraceRef is called for each data reference executed with the Traced
+	// flag (instrumented version only). It returns the cycle cost of the
+	// profiling code (buffer write plus incremental grammar update).
+	TraceRef(pc int, addr Word, isWrite bool) uint64
+
+	// Match is called at each injected OpMatch site with the preceding data
+	// reference. It returns addresses to prefetch (nil when no complete
+	// prefix match occurred) and the cycle cost of the executed comparisons.
+	Match(pc int, addr Word) (prefetch []Word, cost uint64)
+}
+
+// RunStatus reports why Run returned.
+type RunStatus int
+
+const (
+	// Halted means the entry procedure returned.
+	Halted RunStatus = iota
+	// Yielded means the runtime requested a pause (e.g. to run the online
+	// analysis and optimization phase).
+	Yielded
+	// CycleLimit means the cycle budget given to Run was exhausted.
+	CycleLimit
+)
+
+func (s RunStatus) String() string {
+	switch s {
+	case Halted:
+		return "halted"
+	case Yielded:
+		return "yielded"
+	case CycleLimit:
+		return "cycle-limit"
+	}
+	return "status?"
+}
+
+// Trap describes a runtime fault in the simulated program.
+type Trap struct {
+	Proc   string
+	Index  int
+	Reason string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("machine: trap in %s@%d: %s", t.Proc, t.Index, t.Reason)
+}
+
+// Stats counts dynamic execution events.
+type Stats struct {
+	Instructions uint64
+	Refs         uint64 // data references executed
+	TracedRefs   uint64 // references reported to the runtime
+	Checks       uint64 // bursty-tracing checks executed
+	Matches      uint64 // injected DFSM checks executed
+	Prefetches   uint64 // prefetches issued (injected + explicit)
+	Calls        uint64
+}
+
+// maxStackDepth bounds recursion in simulated programs.
+const maxStackDepth = 1 << 16
+
+type frame struct {
+	proc int
+	idx  int
+}
+
+// Machine interprets a Program against a simulated memory and cache
+// hierarchy. It is resumable: Run may return Yielded or CycleLimit and be
+// called again to continue.
+type Machine struct {
+	Prog  *Program
+	Mem   []Word // simulated heap, word-addressed at addr>>3
+	Cache *memsim.Hierarchy
+	RT    Runtime
+
+	Regs   [NumRegs]Word
+	Cycles uint64
+	Stats  Stats
+
+	version Version
+	yield   bool
+	running bool
+	cur     frame
+	stack   []frame
+	lastRef struct {
+		pc   int
+		addr Word
+	}
+}
+
+// New creates a machine for prog with the given heap size in words and cache
+// configuration.
+func New(prog *Program, heapWords int, cacheCfg memsim.Config) *Machine {
+	return &Machine{
+		Prog:  prog,
+		Mem:   make([]Word, heapWords),
+		Cache: memsim.New(cacheCfg),
+	}
+}
+
+// Start (re)initializes control state at the program entry. Registers,
+// memory, cache contents, and counters are left untouched so a caller can
+// pre-populate the heap and run multiple times.
+func (m *Machine) Start() {
+	entry := m.Prog.Entry
+	// The entry procedure's patch applies to fresh invocations just as it
+	// does to calls (paper Figure 10).
+	if r := m.Prog.Procs[entry].Redirect; r != NoRedirect {
+		entry = r
+	}
+	m.cur = frame{proc: entry, idx: 0}
+	m.stack = m.stack[:0]
+	m.version = VersionChecking
+	m.running = true
+	m.yield = false
+}
+
+// Running reports whether the program has been started and not yet halted.
+func (m *Machine) Running() bool { return m.running }
+
+// Yield asks the interpreter to return control after the current
+// instruction. It is typically called from inside a Runtime callback.
+func (m *Machine) Yield() { m.yield = true }
+
+// Version returns the code version currently executing.
+func (m *Machine) Version() Version { return m.version }
+
+// ReadWord returns the heap word at byte address addr (no cache effects).
+func (m *Machine) ReadWord(addr Word) Word { return m.Mem[addr>>3] }
+
+// WriteWord sets the heap word at byte address addr (no cache effects).
+func (m *Machine) WriteWord(addr, val Word) { m.Mem[addr>>3] = val }
+
+// Run executes until the program halts, the runtime yields, or maxCycles
+// additional cycles have elapsed (0 means no limit). It returns the reason
+// for stopping.
+func (m *Machine) Run(maxCycles uint64) (RunStatus, error) {
+	if !m.running {
+		return Halted, nil
+	}
+	limit := ^uint64(0)
+	if maxCycles > 0 {
+		limit = m.Cycles + maxCycles
+	}
+
+	prog := m.Prog
+	memWords := uint64(len(m.Mem))
+	proc := prog.Procs[m.cur.proc]
+	body := proc.Body[m.version]
+	idx := m.cur.idx
+
+	trap := func(reason string) (RunStatus, error) {
+		m.running = false
+		return Halted, &Trap{Proc: proc.Name, Index: idx, Reason: reason}
+	}
+
+	for {
+		if idx >= len(body) {
+			return trap("fell off end of procedure")
+		}
+		in := &body[idx]
+		m.Stats.Instructions++
+		m.Cycles++ // base cost of every instruction
+		next := idx + 1
+
+		switch in.Op {
+		case OpNop:
+
+		case OpArith:
+			// Base cycle already charged; Imm is the total intended cost.
+			if in.Imm > 1 {
+				m.Cycles += uint64(in.Imm - 1)
+			}
+
+		case OpConst:
+			m.Regs[in.Dst] = Word(in.Imm)
+
+		case OpAddImm:
+			m.Regs[in.Dst] = m.Regs[in.Src] + Word(in.Imm)
+
+		case OpMove:
+			m.Regs[in.Dst] = m.Regs[in.Src]
+
+		case OpLoad:
+			addr := m.Regs[in.Src] + Word(in.Imm)
+			if addr>>3 >= memWords {
+				return trap(fmt.Sprintf("load out of range: 0x%x", addr))
+			}
+			m.Stats.Refs++
+			m.Cycles += m.Cache.Access(m.Cycles, int(in.PC), addr, false)
+			m.Regs[in.Dst] = m.Mem[addr>>3]
+			m.lastRef.pc = int(in.PC)
+			m.lastRef.addr = addr
+			if in.Traced && m.RT != nil {
+				m.Stats.TracedRefs++
+				m.Cycles += m.RT.TraceRef(int(in.PC), addr, false)
+			}
+
+		case OpStore:
+			addr := m.Regs[in.Dst] + Word(in.Imm)
+			if addr>>3 >= memWords {
+				return trap(fmt.Sprintf("store out of range: 0x%x", addr))
+			}
+			m.Stats.Refs++
+			m.Cycles += m.Cache.Access(m.Cycles, int(in.PC), addr, true)
+			m.Mem[addr>>3] = m.Regs[in.Src]
+			m.lastRef.pc = int(in.PC)
+			m.lastRef.addr = addr
+			if in.Traced && m.RT != nil {
+				m.Stats.TracedRefs++
+				m.Cycles += m.RT.TraceRef(int(in.PC), addr, true)
+			}
+
+		case OpLoop:
+			m.Regs[in.Dst]--
+			if m.Regs[in.Dst] != 0 {
+				next = int(in.Imm)
+			}
+
+		case OpJump:
+			next = int(in.Imm)
+
+		case OpBeqz:
+			if m.Regs[in.Src] == 0 {
+				next = int(in.Imm)
+			}
+
+		case OpBnez:
+			if m.Regs[in.Src] != 0 {
+				next = int(in.Imm)
+			}
+
+		case OpCall, OpCallIndirect:
+			m.Stats.Calls++
+			if len(m.stack) >= maxStackDepth {
+				return trap("stack overflow")
+			}
+			target := int(in.Imm)
+			if in.Op == OpCallIndirect {
+				target = int(m.Regs[in.Src])
+				if target < 0 || target >= len(prog.Procs) {
+					return trap(fmt.Sprintf("indirect call to invalid proc %d", target))
+				}
+			}
+			if r := prog.Procs[target].Redirect; r != NoRedirect {
+				// Entry was overwritten with a jump to the optimized clone
+				// (paper Figure 10); the jump costs one cycle.
+				m.Cycles++
+				target = r
+			}
+			m.stack = append(m.stack, frame{proc: m.cur.proc, idx: next})
+			m.cur = frame{proc: target, idx: 0}
+			proc = prog.Procs[target]
+			body = proc.Body[m.version]
+			idx = 0
+			if m.yield {
+				m.yield = false
+				m.cur.idx = idx
+				return Yielded, nil
+			}
+			if m.Cycles >= limit {
+				m.cur.idx = idx
+				return CycleLimit, nil
+			}
+			continue
+
+		case OpRet:
+			if len(m.stack) == 0 {
+				m.running = false
+				return Halted, nil
+			}
+			m.cur = m.stack[len(m.stack)-1]
+			m.stack = m.stack[:len(m.stack)-1]
+			proc = prog.Procs[m.cur.proc]
+			body = proc.Body[m.version]
+			idx = m.cur.idx
+			if m.yield {
+				m.yield = false
+				return Yielded, nil
+			}
+			if m.Cycles >= limit {
+				return CycleLimit, nil
+			}
+			continue
+
+		case OpCheck:
+			m.Stats.Checks++
+			if m.RT != nil {
+				v, cost := m.RT.Check(int(in.PC))
+				m.Cycles += cost
+				if v != m.version {
+					m.version = v
+					body = proc.Body[v]
+					if idx >= len(body) {
+						return trap("version bodies not index-aligned")
+					}
+				}
+			}
+
+		case OpMatch:
+			m.Stats.Matches++
+			if m.RT != nil {
+				// Imm carries the stable PC of the associated memory
+				// instruction; the reference itself was recorded by the
+				// immediately preceding load/store.
+				pf, cost := m.RT.Match(int(in.Imm), m.lastRef.addr)
+				m.Cycles += cost
+				for _, a := range pf {
+					m.Stats.Prefetches++
+					m.Cycles++ // prefetch issue cost
+					m.Cache.Prefetch(m.Cycles, a)
+				}
+			}
+
+		case OpPrefetch:
+			addr := m.Regs[in.Src] + Word(in.Imm)
+			m.Stats.Prefetches++
+			m.Cache.Prefetch(m.Cycles, addr)
+
+		default:
+			return trap(fmt.Sprintf("illegal opcode %d", in.Op))
+		}
+
+		idx = next
+		if m.yield {
+			m.yield = false
+			m.cur.idx = idx
+			return Yielded, nil
+		}
+		if m.Cycles >= limit {
+			m.cur.idx = idx
+			return CycleLimit, nil
+		}
+	}
+}
+
+// RunToCompletion runs until the program halts, propagating traps.
+func (m *Machine) RunToCompletion() error {
+	m.Start()
+	for {
+		st, err := m.Run(0)
+		if err != nil {
+			return err
+		}
+		if st == Halted {
+			return nil
+		}
+	}
+}

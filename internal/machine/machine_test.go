@@ -1,0 +1,729 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hotprefetch/internal/memsim"
+)
+
+func testCacheCfg() memsim.Config {
+	return memsim.Config{
+		BlockSize: 32, L1Size: 256, L1Assoc: 2, L2Size: 512, L2Assoc: 2,
+		L2HitLatency: 10, MemLatency: 100,
+	}
+}
+
+func mustBuild(t *testing.T, b *Builder, entry string) *Program {
+	t.Helper()
+	p, err := b.Build(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 40).
+		AddImm(2, 1, 2). // r2 = 42
+		Move(3, 2).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 42 || m.Regs[3] != 42 {
+		t.Errorf("regs = %d/%d, want 42/42", m.Regs[2], m.Regs[3])
+	}
+}
+
+func TestLoadStoreRoundtrip(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 0x40). // address
+		Const(2, 1234).
+		Store(1, 0, 2).
+		Load(3, 1, 0).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 1234 {
+		t.Errorf("loaded %d, want 1234", m.Regs[3])
+	}
+	if m.Stats.Refs != 2 {
+		t.Errorf("Refs = %d, want 2", m.Stats.Refs)
+	}
+	cs := m.Cache.Stats()
+	if cs.Loads != 1 || cs.Stores != 1 {
+		t.Errorf("cache loads/stores = %d/%d, want 1/1", cs.Loads, cs.Stores)
+	}
+}
+
+func TestLoadOffsetAddressing(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 0x100).
+		Const(2, 7).
+		Store(1, 16, 2). // Mem[0x110] = 7
+		Load(3, 1, 16).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 1024, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 7 {
+		t.Errorf("loaded %d, want 7", m.Regs[3])
+	}
+	if m.ReadWord(0x110) != 7 {
+		t.Errorf("Mem[0x110] = %d, want 7", m.ReadWord(0x110))
+	}
+}
+
+func TestCountedLoop(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 10). // counter
+		Const(2, 0).  // accumulator
+		Label("head").
+		AddImm(2, 2, 3).
+		Loop(1, "head").
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 30 {
+		t.Errorf("accumulator = %d, want 30 (10 iterations x 3)", m.Regs[2])
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 0).
+		Const(2, 5).
+		Beqz(1, "taken").
+		Const(3, 111). // skipped
+		Label("taken").
+		Bnez(2, "also").
+		Const(3, 222). // skipped
+		Label("also").
+		Const(4, 9).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[3] != 0 || m.Regs[4] != 9 {
+		t.Errorf("r3=%d r4=%d, want 0/9", m.Regs[3], m.Regs[4])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 1).
+		Call("helper").
+		AddImm(1, 1, 100).
+		Ret()
+	b.Proc("helper").
+		AddImm(1, 1, 10).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 111 {
+		t.Errorf("r1 = %d, want 111", m.Regs[1])
+	}
+	if m.Stats.Calls != 1 {
+		t.Errorf("Calls = %d, want 1", m.Stats.Calls)
+	}
+}
+
+func TestArithCost(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Arith(50).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	// Arith(50) costs 50 cycles total, Ret costs 1.
+	if m.Cycles != 51 {
+		t.Errorf("Cycles = %d, want 51", m.Cycles)
+	}
+}
+
+func TestTrapOnOutOfRangeLoad(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 1<<40).
+		Load(2, 1, 0).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	err := m.RunToCompletion()
+	if err == nil {
+		t.Fatal("want trap on out-of-range load")
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("unexpected trap: %v", err)
+	}
+}
+
+func TestTrapOnStackOverflow(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Call("main").
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	err := m.RunToCompletion()
+	if err == nil {
+		t.Fatal("want trap on unbounded recursion")
+	}
+	if !strings.Contains(err.Error(), "stack overflow") {
+		t.Errorf("unexpected trap: %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate proc", func(t *testing.T) {
+		b := NewBuilder()
+		b.Proc("p").Ret()
+		b.Proc("p").Ret()
+		if _, err := b.Build("p"); err == nil {
+			t.Error("want duplicate-procedure error")
+		}
+	})
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder()
+		b.Proc("p").Jump("nowhere").Ret()
+		if _, err := b.Build("p"); err == nil {
+			t.Error("want undefined-label error")
+		}
+	})
+	t.Run("undefined call", func(t *testing.T) {
+		b := NewBuilder()
+		b.Proc("p").Call("ghost").Ret()
+		if _, err := b.Build("p"); err == nil {
+			t.Error("want undefined-procedure error")
+		}
+	})
+	t.Run("missing ret", func(t *testing.T) {
+		b := NewBuilder()
+		b.Proc("p").Nop()
+		if _, err := b.Build("p"); err == nil {
+			t.Error("want missing-ret error")
+		}
+	})
+	t.Run("missing entry", func(t *testing.T) {
+		b := NewBuilder()
+		b.Proc("p").Ret()
+		if _, err := b.Build("main"); err == nil {
+			t.Error("want missing-entry error")
+		}
+	})
+}
+
+func TestStablePCsAssigned(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("a").Nop().Nop().Ret()
+	b.Proc("b").Nop().Ret()
+	p := mustBuild(t, b, "a")
+	seen := map[int32]bool{}
+	for _, pr := range p.Procs {
+		for _, in := range pr.Body[0] {
+			if in.PC == InjectedPC {
+				t.Fatal("built instruction has no stable PC")
+			}
+			if seen[in.PC] {
+				t.Fatalf("duplicate PC %d", in.PC)
+			}
+			seen[in.PC] = true
+		}
+	}
+	if len(seen) != p.MaxPC() {
+		t.Errorf("MaxPC = %d, want %d", p.MaxPC(), len(seen))
+	}
+}
+
+// versionedRT switches to the instrumented version at every check and counts
+// traced refs.
+type versionedRT struct {
+	version    Version
+	checkCost  uint64
+	traceCost  uint64
+	checks     int
+	tracedRefs int
+}
+
+func (r *versionedRT) Check(pc int) (Version, uint64) {
+	r.checks++
+	return r.version, r.checkCost
+}
+func (r *versionedRT) TraceRef(pc int, addr Word, isWrite bool) uint64 {
+	r.tracedRefs++
+	return r.traceCost
+}
+func (r *versionedRT) Match(pc int, addr Word) ([]Word, uint64) { return nil, 0 }
+
+// duplicateForTest makes Body[1] a traced copy of Body[0], as the vulcan
+// static pass does.
+func duplicateForTest(p *Program) {
+	for _, pr := range p.Procs {
+		instr := make([]Instr, len(pr.Body[0]))
+		copy(instr, pr.Body[0])
+		for i := range instr {
+			if instr[i].IsMemRef() {
+				instr[i].Traced = true
+			}
+		}
+		pr.Body[VersionInstrumented] = instr
+	}
+}
+
+func TestCheckSwitchesVersionAndTraces(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Check().
+		Const(1, 0x40).
+		Load(2, 1, 0).
+		Load(3, 1, 8).
+		Ret()
+	p := mustBuild(t, b, "main")
+	duplicateForTest(p)
+
+	// Checking version: no refs traced.
+	m := New(p, 64, testCacheCfg())
+	rt := &versionedRT{version: VersionChecking}
+	m.RT = rt
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.tracedRefs != 0 {
+		t.Errorf("checking version traced %d refs, want 0", rt.tracedRefs)
+	}
+	if rt.checks != 1 {
+		t.Errorf("checks = %d, want 1", rt.checks)
+	}
+
+	// Instrumented version: both loads traced.
+	m2 := New(p, 64, testCacheCfg())
+	rt2 := &versionedRT{version: VersionInstrumented}
+	m2.RT = rt2
+	if err := m2.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if rt2.tracedRefs != 2 {
+		t.Errorf("instrumented version traced %d refs, want 2", rt2.tracedRefs)
+	}
+	if m2.Stats.TracedRefs != 2 {
+		t.Errorf("Stats.TracedRefs = %d, want 2", m2.Stats.TracedRefs)
+	}
+}
+
+func TestCheckCostCharged(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").Check().Ret()
+	p := mustBuild(t, b, "main")
+	duplicateForTest(p)
+
+	base := New(p, 64, testCacheCfg())
+	if err := base.RunToCompletion(); err != nil { // nil runtime: free checks
+		t.Fatal(err)
+	}
+
+	m := New(p, 64, testCacheCfg())
+	m.RT = &versionedRT{version: VersionChecking, checkCost: 5}
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles != base.Cycles+5 {
+		t.Errorf("cycles = %d, want %d (base) + 5", m.Cycles, base.Cycles)
+	}
+}
+
+// matchRT returns fixed prefetch addresses on the nth match.
+type matchRT struct {
+	fireOn   int
+	n        int
+	prefetch []Word
+	cost     uint64
+	gotPC    int
+	gotAddr  Word
+}
+
+func (r *matchRT) Check(pc int) (Version, uint64)                  { return VersionChecking, 0 }
+func (r *matchRT) TraceRef(pc int, addr Word, isWrite bool) uint64 { return 0 }
+func (r *matchRT) Match(pc int, addr Word) ([]Word, uint64) {
+	r.n++
+	r.gotPC = pc
+	r.gotAddr = addr
+	if r.n == r.fireOn {
+		return r.prefetch, r.cost
+	}
+	return nil, r.cost
+}
+
+func TestMatchIssuesPrefetches(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 0x40).
+		Load(2, 1, 0).
+		Ret()
+	p := mustBuild(t, b, "main")
+
+	// Inject an OpMatch after the load, carrying the load's stable PC.
+	loadPC := p.Procs[0].Body[0][1].PC
+	body := p.Procs[0].Body[0]
+	injected := append(body[:2:2], Instr{Op: OpMatch, PC: InjectedPC, Imm: int64(loadPC)})
+	injected = append(injected, body[2:]...)
+	p.Procs[0].Body[0] = injected
+	p.Procs[0].Body[1] = injected
+
+	m := New(p, 1<<16, testCacheCfg())
+	rt := &matchRT{fireOn: 1, prefetch: []Word{0x1000, 0x2000}, cost: 3}
+	m.RT = rt
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.gotPC != int(loadPC) || rt.gotAddr != 0x40 {
+		t.Errorf("match saw (%d, 0x%x), want (%d, 0x40)", rt.gotPC, rt.gotAddr, loadPC)
+	}
+	if m.Stats.Matches != 1 || m.Stats.Prefetches != 2 {
+		t.Errorf("matches/prefetches = %d/%d, want 1/2", m.Stats.Matches, m.Stats.Prefetches)
+	}
+	cs := m.Cache.Stats()
+	if cs.Prefetches != 2 {
+		t.Errorf("cache prefetches = %d, want 2", cs.Prefetches)
+	}
+	if !m.Cache.Contains(1, 0x1000) || !m.Cache.Contains(1, 0x2000) {
+		t.Error("prefetched blocks not resident in L1")
+	}
+}
+
+func TestExplicitPrefetchOp(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 0x800).
+		Prefetch(1, 0).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 1<<10, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cache.Contains(1, 0x800) {
+		t.Error("explicit prefetch did not fill L1")
+	}
+}
+
+func TestRedirectPatchesFreshCalls(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Call("f").
+		Ret()
+	b.Proc("f").
+		Const(1, 1).
+		Ret()
+	p := mustBuild(t, b, "main")
+
+	// Build a clone of f that sets r1 = 2, register it, and patch f's entry.
+	clone := &Proc{Name: "f#clone", Redirect: NoRedirect, CloneOf: p.ProcIndex("f")}
+	code := []Instr{
+		{Op: OpConst, Dst: 1, Imm: 2, PC: InjectedPC},
+		{Op: OpRet, PC: InjectedPC},
+	}
+	clone.Body[0] = code
+	clone.Body[1] = code
+	ci := p.AddProc(clone)
+	p.Procs[p.ProcIndex("f")].Redirect = ci
+
+	m := New(p, 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 2 {
+		t.Errorf("r1 = %d, want 2 (clone should run)", m.Regs[1])
+	}
+
+	// Deoptimize: remove the jump; original runs again.
+	p.Procs[p.ProcIndex("f")].Redirect = NoRedirect
+	m2 := New(p, 64, testCacheCfg())
+	if err := m2.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Regs[1] != 1 {
+		t.Errorf("r1 = %d, want 1 (original after deopt)", m2.Regs[1])
+	}
+}
+
+func TestResumableRunMatchesSingleRun(t *testing.T) {
+	build := func() *Machine {
+		b := NewBuilder()
+		b.Proc("main").
+			Const(1, 200).
+			Const(2, 0x40).
+			Label("head").
+			Load(3, 2, 0).
+			Arith(3).
+			Loop(1, "head").
+			Ret()
+		return New(mustBuild(t, b, "main"), 1<<10, testCacheCfg())
+	}
+	one := build()
+	if err := one.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+
+	chunked := build()
+	chunked.Start()
+	for {
+		st, err := chunked.Run(17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == Halted {
+			break
+		}
+	}
+	if one.Cycles != chunked.Cycles || one.Stats != chunked.Stats {
+		t.Errorf("chunked run diverged: cycles %d vs %d, stats %+v vs %+v",
+			one.Cycles, chunked.Cycles, one.Stats, chunked.Stats)
+	}
+}
+
+// Property: execution is deterministic — two machines running the same
+// program over the same heap produce identical cycle counts and stats.
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed uint8, iters uint8) bool {
+		n := int64(iters%50) + 2
+		b := NewBuilder()
+		b.Proc("main").
+			Const(1, n).
+			Const(2, int64(seed)*8).
+			Label("head").
+			Load(3, 2, 0).
+			AddImm(2, 2, 32).
+			Arith(2).
+			Loop(1, "head").
+			Ret()
+		p, err := b.Build("main")
+		if err != nil {
+			return false
+		}
+		run := func() (uint64, Stats) {
+			m := New(p, 1<<12, testCacheCfg())
+			if err := m.RunToCompletion(); err != nil {
+				return 0, Stats{}
+			}
+			return m.Cycles, m.Stats
+		}
+		c1, s1 := run()
+		c2, s2 := run()
+		return c1 == c2 && s1 == s2 && c1 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := OpNop; op < numOpcodes; op++ {
+		if op.String() == "" || op.String() == "op?" {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if Opcode(200).String() != "op?" {
+		t.Error("out-of-range opcode should stringify as op?")
+	}
+}
+
+func BenchmarkInterpreterLoop(b *testing.B) {
+	bl := NewBuilder()
+	bl.Proc("main").
+		Const(1, 1000).
+		Const(2, 0).
+		Label("head").
+		Load(3, 2, 0).
+		AddImm(2, 2, 32).
+		Arith(2).
+		Loop(1, "head").
+		Ret()
+	p, err := bl.Build("main")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := New(p, 1<<16, memsim.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Regs = [NumRegs]Word{}
+		if err := m.RunToCompletion(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIndirectCallDispatch(t *testing.T) {
+	// A two-entry dispatch table in memory; main loads a handler index and
+	// calls through it — the object-database dispatch pattern.
+	b := NewBuilder()
+	b.Proc("main").
+		ConstProc(1, "handlerA").
+		ConstProc(2, "handlerB").
+		Const(3, 0x100).
+		Store(3, 0, 1). // table[0] = handlerA
+		Store(3, 8, 2). // table[1] = handlerB
+		Load(4, 3, 8).  // pick handlerB
+		CallReg(4).
+		Ret()
+	b.Proc("handlerA").Const(5, 111).Ret()
+	b.Proc("handlerB").Const(5, 222).Ret()
+	m := New(mustBuild(t, b, "main"), 1<<10, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[5] != 222 {
+		t.Errorf("r5 = %d, want 222 (handlerB)", m.Regs[5])
+	}
+}
+
+func TestIndirectCallHonorsRedirect(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		ConstProc(1, "f").
+		CallReg(1).
+		Ret()
+	b.Proc("f").Const(2, 1).Ret()
+	p := mustBuild(t, b, "main")
+	clone := &Proc{Name: "f#opt", Redirect: NoRedirect, CloneOf: p.ProcIndex("f")}
+	code := []Instr{{Op: OpConst, Dst: 2, Imm: 9, PC: InjectedPC}, {Op: OpRet, PC: InjectedPC}}
+	clone.Body[0], clone.Body[1] = code, code
+	p.Procs[p.ProcIndex("f")].Redirect = p.AddProc(clone)
+
+	m := New(p, 64, testCacheCfg())
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 9 {
+		t.Errorf("r2 = %d, want 9 (indirect call through patched entry)", m.Regs[2])
+	}
+}
+
+func TestIndirectCallTrapsOnBadTarget(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Const(1, 999).
+		CallReg(1).
+		Ret()
+	m := New(mustBuild(t, b, "main"), 64, testCacheCfg())
+	err := m.RunToCompletion()
+	if err == nil || !strings.Contains(err.Error(), "invalid proc") {
+		t.Errorf("want invalid-proc trap, got %v", err)
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Check().
+		Const(1, 0x40).
+		Load(2, 1, 0).
+		Ret()
+	p := mustBuild(t, b, "main")
+	duplicateForTest(p)
+
+	if Halted.String() != "halted" || Yielded.String() != "yielded" ||
+		CycleLimit.String() != "cycle-limit" || RunStatus(9).String() != "status?" {
+		t.Error("RunStatus strings wrong")
+	}
+	if p.Procs[0].Code(VersionChecking)[0].Op != OpCheck {
+		t.Error("Code accessor broken")
+	}
+	if p.ProcIndex("nope") != -1 {
+		t.Error("ProcIndex must return -1 for unknown names")
+	}
+	if p.NumOriginalRefPCs() != 1 {
+		t.Errorf("NumOriginalRefPCs = %d, want 1 (the load)", p.NumOriginalRefPCs())
+	}
+	before := p.MaxPC()
+	if pc := p.AllocPC(); int(pc) != before || p.MaxPC() != before+1 {
+		t.Error("AllocPC must hand out the next stable id")
+	}
+
+	m := New(p, 64, testCacheCfg())
+	m.WriteWord(0x40, 99)
+	if m.ReadWord(0x40) != 99 {
+		t.Error("WriteWord/ReadWord broken")
+	}
+	if m.Running() {
+		t.Error("machine must not run before Start")
+	}
+	m.Start()
+	if !m.Running() || m.Version() != VersionChecking {
+		t.Error("Start must set running/checking state")
+	}
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Running() {
+		t.Error("machine must stop after halting")
+	}
+	// Run on a halted machine is a no-op.
+	if st, err := m.Run(0); err != nil || st != Halted {
+		t.Errorf("Run on halted machine = %v/%v", st, err)
+	}
+}
+
+// yieldingRT yields from inside a trace callback.
+type yieldingRT struct{ m *Machine }
+
+func (r *yieldingRT) Check(pc int) (Version, uint64) { return VersionInstrumented, 0 }
+func (r *yieldingRT) TraceRef(pc int, addr Word, isWrite bool) uint64 {
+	r.m.Yield()
+	return 0
+}
+func (r *yieldingRT) Match(pc int, addr Word) ([]Word, uint64) { return nil, 0 }
+
+func TestYieldFromTraceCallback(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("main").
+		Check().
+		Const(1, 0x40).
+		Load(2, 1, 0).
+		Load(3, 1, 8).
+		Ret()
+	p := mustBuild(t, b, "main")
+	duplicateForTest(p)
+	m := New(p, 64, testCacheCfg())
+	m.RT = &yieldingRT{m: m}
+	m.Start()
+	yields := 0
+	for {
+		st, err := m.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == Halted {
+			break
+		}
+		if st != Yielded {
+			t.Fatalf("status = %v, want Yielded", st)
+		}
+		yields++
+		if yields > 10 {
+			t.Fatal("runaway yielding")
+		}
+	}
+	if yields != 2 {
+		t.Errorf("yields = %d, want 2 (one per traced load)", yields)
+	}
+	if m.Stats.TracedRefs != 2 {
+		t.Errorf("traced refs = %d, want 2", m.Stats.TracedRefs)
+	}
+}

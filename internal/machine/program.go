@@ -1,0 +1,300 @@
+package machine
+
+import "fmt"
+
+// Version selects one of the two procedure bodies created by static
+// instrumentation for bursty tracing (paper Figure 2).
+type Version uint8
+
+const (
+	// VersionChecking is the lightly-instrumented version: it executes
+	// checks but does not profile data references.
+	VersionChecking Version = 0
+	// VersionInstrumented additionally profiles data references (memory
+	// ops carry the Traced flag).
+	VersionInstrumented Version = 1
+)
+
+// NoRedirect marks a procedure whose entry has not been patched.
+const NoRedirect = -1
+
+// Proc is a procedure. Body holds the checking and instrumented versions;
+// for a program that has not been statically instrumented both entries alias
+// the same slice. The two versions are always index-aligned so that a check
+// can transfer control between them at the current instruction index.
+//
+// Redirect implements dynamic Vulcan's entry patching (paper Figure 10 and
+// §3.2): when >= 0, the first instruction is conceptually overwritten with
+// an unconditional jump to Procs[Redirect], so fresh calls land in the
+// optimized clone while return addresses already on the stack keep executing
+// this body.
+type Proc struct {
+	Name     string
+	Body     [2][]Instr
+	Redirect int
+
+	// CloneOf is the index of the procedure this one was cloned from by the
+	// dynamic optimizer, or NoRedirect for original procedures.
+	CloneOf int
+}
+
+// Code returns the body for the given version.
+func (p *Proc) Code(v Version) []Instr { return p.Body[v] }
+
+// Program is a complete executable: a set of procedures and an entry point.
+type Program struct {
+	Procs  []*Proc
+	Entry  int
+	nextPC int32
+}
+
+// ProcIndex returns the index of the named procedure, or -1.
+func (p *Program) ProcIndex(name string) int {
+	for i, pr := range p.Procs {
+		if pr.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AddProc appends a procedure (used by the dynamic optimizer to register
+// clones) and returns its index.
+func (p *Program) AddProc(pr *Proc) int {
+	p.Procs = append(p.Procs, pr)
+	return len(p.Procs) - 1
+}
+
+// MaxPC returns an exclusive upper bound on stable PC identities in the
+// program.
+func (p *Program) MaxPC() int { return int(p.nextPC) }
+
+// AllocPC allocates a fresh stable PC identity, used by instrumentation
+// passes that insert new instructions.
+func (p *Program) AllocPC() int32 {
+	pc := p.nextPC
+	p.nextPC++
+	return pc
+}
+
+// NumOriginalRefPCs counts memory instructions among original (non-injected)
+// instructions, one per stable PC.
+func (p *Program) NumOriginalRefPCs() int {
+	seen := make(map[int32]bool)
+	for _, pr := range p.Procs {
+		if pr.CloneOf != NoRedirect {
+			continue
+		}
+		for _, in := range pr.Body[0] {
+			if in.IsMemRef() && in.PC != InjectedPC {
+				seen[in.PC] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Builder assembles a Program procedure by procedure. Calls may reference
+// procedures by name before they are defined; Build resolves them.
+type Builder struct {
+	prog  *Program
+	procs []*procBuilder
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{prog: &Program{}}
+}
+
+// Proc starts a new procedure with the given name and returns its builder.
+// Procedure names must be unique within the program.
+func (b *Builder) Proc(name string) *ProcBuilder {
+	pb := &procBuilder{name: name, labels: make(map[string]int)}
+	b.procs = append(b.procs, pb)
+	return &ProcBuilder{pb: pb}
+}
+
+// Build finalizes the program with the named entry procedure. It assigns
+// stable PCs, resolves labels and call targets, and validates branch targets.
+func (b *Builder) Build(entry string) (*Program, error) {
+	names := make(map[string]int, len(b.procs))
+	for i, pb := range b.procs {
+		if _, dup := names[pb.name]; dup {
+			return nil, fmt.Errorf("machine: duplicate procedure %q", pb.name)
+		}
+		names[pb.name] = i
+	}
+	prog := b.prog
+	prog.Procs = make([]*Proc, len(b.procs))
+	for i, pb := range b.procs {
+		code, err := pb.finalize(names)
+		if err != nil {
+			return nil, err
+		}
+		for j := range code {
+			code[j].PC = prog.nextPC
+			prog.nextPC++
+		}
+		p := &Proc{Name: pb.name, Redirect: NoRedirect, CloneOf: NoRedirect}
+		p.Body[VersionChecking] = code
+		p.Body[VersionInstrumented] = code
+		prog.Procs[i] = p
+	}
+	ei, ok := names[entry]
+	if !ok {
+		return nil, fmt.Errorf("machine: entry procedure %q not defined", entry)
+	}
+	prog.Entry = ei
+	return prog, nil
+}
+
+type fixup struct {
+	index int    // instruction whose Imm needs patching
+	label string // branch target label, or
+	call  string // callee name
+}
+
+type procBuilder struct {
+	name   string
+	code   []Instr
+	labels map[string]int
+	fixups []fixup
+}
+
+func (pb *procBuilder) finalize(procNames map[string]int) ([]Instr, error) {
+	for _, f := range pb.fixups {
+		switch {
+		case f.label != "":
+			idx, ok := pb.labels[f.label]
+			if !ok {
+				return nil, fmt.Errorf("machine: %s: undefined label %q", pb.name, f.label)
+			}
+			pb.code[f.index].Imm = int64(idx)
+		case f.call != "":
+			pi, ok := procNames[f.call]
+			if !ok {
+				return nil, fmt.Errorf("machine: %s: call to undefined procedure %q", pb.name, f.call)
+			}
+			pb.code[f.index].Imm = int64(pi)
+		}
+	}
+	if n := len(pb.code); n == 0 || pb.code[n-1].Op != OpRet {
+		return nil, fmt.Errorf("machine: %s: procedure must end with ret", pb.name)
+	}
+	for i, in := range pb.code {
+		if in.isBranch() && (in.Imm < 0 || in.Imm >= int64(len(pb.code))) {
+			return nil, fmt.Errorf("machine: %s: instruction %d branches out of range", pb.name, i)
+		}
+	}
+	return pb.code, nil
+}
+
+// ProcBuilder emits instructions for one procedure. All emit methods return
+// the builder for chaining.
+type ProcBuilder struct {
+	pb *procBuilder
+}
+
+func (p *ProcBuilder) emit(in Instr) *ProcBuilder {
+	in.PC = InjectedPC // assigned for real in Build
+	p.pb.code = append(p.pb.code, in)
+	return p
+}
+
+// Nop emits a no-op.
+func (p *ProcBuilder) Nop() *ProcBuilder { return p.emit(Instr{Op: OpNop}) }
+
+// Arith emits cost cycles of computation.
+func (p *ProcBuilder) Arith(cost int64) *ProcBuilder {
+	return p.emit(Instr{Op: OpArith, Imm: cost})
+}
+
+// Const emits R[dst] = imm.
+func (p *ProcBuilder) Const(dst Reg, imm int64) *ProcBuilder {
+	return p.emit(Instr{Op: OpConst, Dst: dst, Imm: imm})
+}
+
+// AddImm emits R[dst] = R[src] + imm.
+func (p *ProcBuilder) AddImm(dst, src Reg, imm int64) *ProcBuilder {
+	return p.emit(Instr{Op: OpAddImm, Dst: dst, Src: src, Imm: imm})
+}
+
+// Move emits R[dst] = R[src].
+func (p *ProcBuilder) Move(dst, src Reg) *ProcBuilder {
+	return p.emit(Instr{Op: OpMove, Dst: dst, Src: src})
+}
+
+// Load emits R[dst] = Mem[R[base]+off].
+func (p *ProcBuilder) Load(dst, base Reg, off int64) *ProcBuilder {
+	return p.emit(Instr{Op: OpLoad, Dst: dst, Src: base, Imm: off})
+}
+
+// Store emits Mem[R[base]+off] = R[src].
+func (p *ProcBuilder) Store(base Reg, off int64, src Reg) *ProcBuilder {
+	return p.emit(Instr{Op: OpStore, Dst: base, Imm: off, Src: src})
+}
+
+// Prefetch emits a prefetch of address R[base]+off.
+func (p *ProcBuilder) Prefetch(base Reg, off int64) *ProcBuilder {
+	return p.emit(Instr{Op: OpPrefetch, Src: base, Imm: off})
+}
+
+// Label defines a branch target at the current position.
+func (p *ProcBuilder) Label(name string) *ProcBuilder {
+	p.pb.labels[name] = len(p.pb.code)
+	return p
+}
+
+// Loop emits "R[ctr]--; if R[ctr] != 0 goto label" (a counted back-edge).
+func (p *ProcBuilder) Loop(ctr Reg, label string) *ProcBuilder {
+	p.pb.fixups = append(p.pb.fixups, fixup{index: len(p.pb.code), label: label})
+	return p.emit(Instr{Op: OpLoop, Dst: ctr})
+}
+
+// Jump emits an unconditional jump to label.
+func (p *ProcBuilder) Jump(label string) *ProcBuilder {
+	p.pb.fixups = append(p.pb.fixups, fixup{index: len(p.pb.code), label: label})
+	return p.emit(Instr{Op: OpJump})
+}
+
+// Beqz emits "if R[src] == 0 goto label".
+func (p *ProcBuilder) Beqz(src Reg, label string) *ProcBuilder {
+	p.pb.fixups = append(p.pb.fixups, fixup{index: len(p.pb.code), label: label})
+	return p.emit(Instr{Op: OpBeqz, Src: src})
+}
+
+// Bnez emits "if R[src] != 0 goto label" (pointer-chase back-edge).
+func (p *ProcBuilder) Bnez(src Reg, label string) *ProcBuilder {
+	p.pb.fixups = append(p.pb.fixups, fixup{index: len(p.pb.code), label: label})
+	return p.emit(Instr{Op: OpBnez, Src: src})
+}
+
+// Call emits a call to the named procedure.
+func (p *ProcBuilder) Call(name string) *ProcBuilder {
+	p.pb.fixups = append(p.pb.fixups, fixup{index: len(p.pb.code), call: name})
+	return p.emit(Instr{Op: OpCall})
+}
+
+// CallReg emits an indirect call through the procedure index in R[src].
+func (p *ProcBuilder) CallReg(src Reg) *ProcBuilder {
+	return p.emit(Instr{Op: OpCallIndirect, Src: src})
+}
+
+// ConstProc emits R[dst] = index of the named procedure, for building
+// dispatch tables used with CallReg. The index is resolved at Build time.
+func (p *ProcBuilder) ConstProc(dst Reg, name string) *ProcBuilder {
+	p.pb.fixups = append(p.pb.fixups, fixup{index: len(p.pb.code), call: name})
+	return p.emit(Instr{Op: OpConst, Dst: dst})
+}
+
+// Ret emits a return.
+func (p *ProcBuilder) Ret() *ProcBuilder { return p.emit(Instr{Op: OpRet}) }
+
+// Check emits a bursty-tracing check site. Workload generators place one at
+// each procedure entry and loop head, standing in for the static Vulcan pass
+// that rewrites binaries before execution (paper §2.1, Figure 2; the paper's
+// checks sit at procedure entries and loop back-edges).
+func (p *ProcBuilder) Check() *ProcBuilder { return p.emit(Instr{Op: OpCheck}) }
+
+// Len returns the number of instructions emitted so far.
+func (p *ProcBuilder) Len() int { return len(p.pb.code) }

@@ -1,0 +1,72 @@
+package opt
+
+import "fmt"
+
+// Event is one entry in the optimizer's decision log: phase transitions,
+// analysis results, injections, and de-optimizations. Events let operators
+// watch the Figure-1 cycle as it happens without digging through
+// statistics.
+type Event struct {
+	// Cycle is the optimization cycle the event belongs to (0-based).
+	Cycle int
+	// Kind describes what happened.
+	Kind EventKind
+	// Detail is a human-readable summary.
+	Detail string
+}
+
+// EventKind enumerates optimizer decisions.
+type EventKind int
+
+const (
+	// EventAwake marks the start of a profiling (awake) phase.
+	EventAwake EventKind = iota
+	// EventAnalyzed marks the completion of hot data stream analysis.
+	EventAnalyzed
+	// EventInjected marks a code injection.
+	EventInjected
+	// EventHibernate marks the start of a hibernation phase.
+	EventHibernate
+	// EventDeoptimized marks the removal of injected code.
+	EventDeoptimized
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventAwake:
+		return "awake"
+	case EventAnalyzed:
+		return "analyzed"
+	case EventInjected:
+		return "injected"
+	case EventHibernate:
+		return "hibernate"
+	case EventDeoptimized:
+		return "deoptimized"
+	}
+	return "event?"
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	return fmt.Sprintf("cycle %d: %-11s %s", e.Cycle, e.Kind, e.Detail)
+}
+
+// EventSink receives optimizer events as they happen. Implementations must
+// not retain the machine or mutate optimizer state.
+type EventSink func(Event)
+
+// SetEventSink attaches an event sink (nil detaches). Events are emitted
+// synchronously from within the optimizer's phase transitions.
+func (o *Optimizer) SetEventSink(sink EventSink) { o.events = sink }
+
+func (o *Optimizer) emit(kind EventKind, format string, args ...any) {
+	if o.events == nil {
+		return
+	}
+	o.events(Event{
+		Cycle:  len(o.cycles),
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,578 @@
+package opt
+
+import (
+	"testing"
+
+	"hotprefetch/internal/burst"
+	"hotprefetch/internal/heap"
+	"hotprefetch/internal/hotds"
+	"hotprefetch/internal/machine"
+	"hotprefetch/internal/memsim"
+	"hotprefetch/internal/vulcan"
+)
+
+// testCache is small enough that a modest pointer chase thrashes it:
+// L1 = 8 blocks, L2 = 16 blocks. A cyclic traversal of 24 one-block nodes
+// misses both levels on every access under LRU.
+func testCache() memsim.Config {
+	return memsim.Config{
+		BlockSize: 32, L1Size: 256, L1Assoc: 2, L2Size: 512, L2Assoc: 2,
+		L2HitLatency: 10, MemLatency: 100,
+	}
+}
+
+// testConfig samples aggressively so small test programs complete several
+// optimization cycles.
+func testConfig(mode Mode) Config {
+	return Config{
+		Mode: mode,
+		Burst: burst.Config{
+			NCheck0: 60, NInstr0: 60, // 50% sampling, bursts long enough for full traversals
+			NAwake0: 4, NHibernate0: 60, // hibernation-dominated, like the paper's 1s-in-50s
+			CheckCost: 2,
+		},
+		Analysis: hotds.Config{
+			MinLen: 4, MaxLen: 120, MinCoverage: 0.02, MaxStreams: 20,
+		},
+		HeadLen: 2,
+		Costs:   DefaultCostModel(),
+	}
+}
+
+// chaseMachine builds a machine whose program repeatedly traverses a
+// scattered linked list — a miss-heavy workload with one dominant hot data
+// stream. instrument controls whether the static Vulcan pass runs.
+func chaseMachine(t testing.TB, nodes int, laps int64, instrument bool) *machine.Machine {
+	b := machine.NewBuilder()
+	b.Proc("main").
+		Const(1, laps).
+		Label("outer").
+		Call("traverse").
+		Loop(1, "outer").
+		Ret()
+	b.Proc("traverse").
+		Const(2, 8). // list head address (filled below)
+		Load(3, 2, 0).
+		Label("chase").
+		Load(3, 3, 8). // r3 = r3->next (field at offset 8)
+		Arith(4).
+		Bnez(3, "chase").
+		Ret()
+	prog, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrument {
+		vulcan.Instrument(prog)
+	}
+	m := machine.New(prog, 1<<14, testCache())
+
+	// Heap: word 8 holds the head pointer; nodes are scattered (shuffled
+	// allocation order) with one node per cache block.
+	arena := heap.NewArena(m.Mem, 64)
+	addrs := arena.List(nodes, 2, 1, heap.ShuffledPerm(nodes, 11), 16)
+	m.WriteWord(8, addrs[0])
+	return m
+}
+
+func TestBaselineRuns(t *testing.T) {
+	m := chaseMachine(t, 24, 50, false)
+	cycles, err := RunBaseline(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Fatal("baseline must execute")
+	}
+	if m.Cache.Stats().L2Misses == 0 {
+		t.Fatal("workload should miss in L2 (working set exceeds it)")
+	}
+}
+
+func TestDynPrefCompletesCyclesAndPrefetches(t *testing.T) {
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, testConfig(ModeDynPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptCycles() < 2 {
+		t.Fatalf("optimization cycles = %d, want >= 2", res.OptCycles())
+	}
+	avg := res.AvgPerCycle()
+	if avg.TracedRefs == 0 {
+		t.Error("no references traced")
+	}
+	if avg.HotStreams == 0 {
+		t.Error("no hot streams detected")
+	}
+	if avg.DFSMStates < 2 {
+		t.Errorf("DFSM states = %d, want >= 2", avg.DFSMStates)
+	}
+	if avg.ProcsModified == 0 {
+		t.Error("no procedures modified")
+	}
+	if res.Machine.Prefetches == 0 {
+		t.Error("no prefetches issued")
+	}
+	if res.Cache.UsefulPrefetches == 0 {
+		t.Error("no prefetch was useful")
+	}
+	// After the run every injection must have been de-optimized or be
+	// removable: no procedure that is an original may still be patched
+	// after its hibernation ended. (The final phase may be mid-flight, so
+	// only check when the last cycle closed.)
+	_ = res
+}
+
+func TestDynPrefBeatsNoPref(t *testing.T) {
+	mNo := chaseMachine(t, 24, 1200, true)
+	resNo, err := Run(mNo, testConfig(ModeNoPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mDyn := chaseMachine(t, 24, 1200, true)
+	resDyn, err := Run(mDyn, testConfig(ModeDynPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDyn.ExecCycles >= resNo.ExecCycles {
+		t.Errorf("dyn-pref (%d cycles) should beat no-pref (%d cycles)",
+			resDyn.ExecCycles, resNo.ExecCycles)
+	}
+	if resDyn.Cache.L2Misses >= resNo.Cache.L2Misses {
+		t.Errorf("dyn-pref L2 misses (%d) should be below no-pref (%d)",
+			resDyn.Cache.L2Misses, resNo.Cache.L2Misses)
+	}
+}
+
+func TestDynPrefBeatsBaselineOnMissHeavyWorkload(t *testing.T) {
+	base, err := RunBaseline(chaseMachine(t, 24, 1200, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(chaseMachine(t, 24, 1200, true), testConfig(ModeDynPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecCycles >= base {
+		t.Errorf("dyn-pref (%d) should beat the unoptimized baseline (%d)",
+			res.ExecCycles, base)
+	}
+}
+
+func TestProfileModeTracesButNeverInjects(t *testing.T) {
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, testConfig(ModeProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptCycles() == 0 {
+		t.Fatal("profiling cycles expected")
+	}
+	avg := res.AvgPerCycle()
+	if avg.TracedRefs == 0 {
+		t.Error("profile mode must trace")
+	}
+	if avg.HotStreams != 0 || avg.ProcsModified != 0 {
+		t.Error("profile mode must not analyze or inject")
+	}
+	if res.Machine.Matches != 0 {
+		t.Error("profile mode must not execute injected checks")
+	}
+}
+
+func TestHdsModeAnalyzesButNeverInjects(t *testing.T) {
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, testConfig(ModeHds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := res.AvgPerCycle()
+	if avg.HotStreams == 0 {
+		t.Error("hds mode must detect streams")
+	}
+	if avg.ProcsModified != 0 || res.Machine.Matches != 0 {
+		t.Error("hds mode must not inject")
+	}
+}
+
+func TestNoPrefMatchesWithoutPrefetching(t *testing.T) {
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, testConfig(ModeNoPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.Matches == 0 {
+		t.Error("no-pref mode must execute injected checks")
+	}
+	if res.Machine.Prefetches != 0 || res.Cache.Prefetches != 0 {
+		t.Error("no-pref mode must not prefetch")
+	}
+	avg := res.AvgPerCycle()
+	if avg.PrefixMatches == 0 {
+		t.Error("prefix matches expected")
+	}
+}
+
+func TestSeqPrefPrefetchesWrongBlocksOnScatteredLayout(t *testing.T) {
+	mSeq := chaseMachine(t, 24, 1200, true)
+	resSeq, err := Run(mSeq, testConfig(ModeSeqPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSeq.Cache.Prefetches == 0 {
+		t.Fatal("seq-pref must prefetch")
+	}
+	mDyn := chaseMachine(t, 24, 1200, true)
+	resDyn, err := Run(mDyn, testConfig(ModeDynPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a scattered layout, sequential prefetching is far less accurate
+	// than stream-targeted prefetching.
+	seqUseful := float64(resSeq.Cache.UsefulPrefetches) / float64(resSeq.Cache.Prefetches)
+	dynUseful := float64(resDyn.Cache.UsefulPrefetches) / float64(resDyn.Cache.Prefetches)
+	if seqUseful >= dynUseful {
+		t.Errorf("seq-pref useful ratio (%.2f) should be below dyn-pref (%.2f)",
+			seqUseful, dynUseful)
+	}
+	if resSeq.ExecCycles <= resDyn.ExecCycles {
+		t.Errorf("seq-pref (%d) should be slower than dyn-pref (%d)",
+			resSeq.ExecCycles, resDyn.ExecCycles)
+	}
+}
+
+func TestBaseVariantNeverTraces(t *testing.T) {
+	m := chaseMachine(t, 24, 200, true)
+	cfg := BaseVariant(testConfig(ModeDynPref))
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.TracedRefs != 0 {
+		t.Errorf("base variant traced %d refs, want 0", res.Machine.TracedRefs)
+	}
+	if res.OptCycles() != 0 {
+		t.Errorf("base variant completed %d cycles, want 0", res.OptCycles())
+	}
+	if res.Burst.Checks == 0 {
+		t.Error("base variant must still execute checks")
+	}
+}
+
+func TestBaseVariantCostsMoreThanBaseline(t *testing.T) {
+	base, err := RunBaseline(chaseMachine(t, 24, 200, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(chaseMachine(t, 24, 200, true), BaseVariant(testConfig(ModeDynPref)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecCycles <= base {
+		t.Errorf("checks must cost something: base-variant %d <= baseline %d",
+			res.ExecCycles, base)
+	}
+	// But not much: the paper reports 2.5-6%; allow up to 30% in the
+	// aggressive test configuration.
+	if float64(res.ExecCycles) > 1.3*float64(base) {
+		t.Errorf("check overhead implausibly high: %d vs %d", res.ExecCycles, base)
+	}
+}
+
+func TestMaxOptCyclesStopsInjection(t *testing.T) {
+	cfg := testConfig(ModeDynPref)
+	cfg.MaxOptCycles = 1
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	for _, c := range res.Cycles {
+		if c.ProcsModified > 0 {
+			injected++
+		}
+	}
+	if injected != 1 {
+		t.Errorf("cycles with injection = %d, want exactly 1", injected)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		m := chaseMachine(t, 24, 1200, true)
+		res, err := Run(m, testConfig(ModeDynPref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ExecCycles != b.ExecCycles || a.Machine != b.Machine || a.Cache != b.Cache {
+		t.Errorf("runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if len(a.Cycles) != len(b.Cycles) {
+		t.Fatalf("cycle counts differ: %d vs %d", len(a.Cycles), len(b.Cycles))
+	}
+	for i := range a.Cycles {
+		if a.Cycles[i] != b.Cycles[i] {
+			t.Errorf("cycle %d differs: %+v vs %+v", i, a.Cycles[i], b.Cycles[i])
+		}
+	}
+}
+
+func TestNoProcRemainsPatchedAfterFullCycles(t *testing.T) {
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, testConfig(ModeDynPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptCycles() == 0 {
+		t.Skip("no full cycle completed")
+	}
+	// A program may halt mid-hibernation with an active injection; that is
+	// fine. But the number of currently patched procedures must equal the
+	// last injection's count or zero, never an accumulation.
+	patched := 0
+	for _, p := range m.Prog.Procs {
+		if p.Redirect != machine.NoRedirect {
+			patched++
+		}
+	}
+	last := res.Cycles[len(res.Cycles)-1]
+	if patched != 0 && patched > last.ProcsModified+4 {
+		t.Errorf("patched procedures accumulated: %d", patched)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m := ModeBase; m <= ModeDynPref; m++ {
+		if m.String() == "mode?" {
+			t.Errorf("mode %d has no name", m)
+		}
+	}
+}
+
+func TestScheduledPrefetchingDrainsPending(t *testing.T) {
+	cfg := testConfig(ModeDynPref)
+	cfg.ScheduleChunk = 2
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.Prefetches == 0 {
+		t.Fatal("scheduled mode issued no prefetches")
+	}
+	if res.Cache.UsefulPrefetches == 0 {
+		t.Error("scheduled prefetches were never useful")
+	}
+	// Scheduling must not lose the overall win on this workload.
+	base, err := RunBaseline(chaseMachine(t, 24, 1200, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecCycles >= base {
+		t.Errorf("scheduled dyn-pref (%d) should beat baseline (%d)", res.ExecCycles, base)
+	}
+}
+
+func TestStaticModeInjectsOnceAndKeepsIt(t *testing.T) {
+	cfg := testConfig(ModeDynPref)
+	cfg.Static = true
+	m := chaseMachine(t, 24, 1200, true)
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := 0
+	for _, c := range res.Cycles {
+		if c.ProcsModified > 0 {
+			injected++
+		}
+	}
+	if injected != 1 {
+		t.Errorf("static mode injected in %d cycles, want exactly 1", injected)
+	}
+	// After the one-shot injection, profiling stops: later cycles trace
+	// nothing.
+	for i, c := range res.Cycles[1:] {
+		if c.TracedRefs != 0 {
+			t.Errorf("static mode traced %d refs in cycle %d, want 0", c.TracedRefs, i+1)
+		}
+	}
+	// The injection must still be live at the end of the run.
+	patched := 0
+	for _, p := range m.Prog.Procs {
+		if p.Redirect != machine.NoRedirect {
+			patched++
+		}
+	}
+	if patched == 0 {
+		t.Error("static mode must keep its injection")
+	}
+	if res.Machine.Prefetches == 0 || res.Cache.UsefulPrefetches == 0 {
+		t.Error("static mode should prefetch throughout")
+	}
+}
+
+func TestEventSinkObservesTheCycle(t *testing.T) {
+	m := chaseMachine(t, 24, 1200, true)
+	o := New(m, testConfig(ModeDynPref))
+	var events []Event
+	o.SetEventSink(func(e Event) { events = append(events, e) })
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Result().OptCycles() == 0 {
+		t.Skip("no cycle completed")
+	}
+	counts := map[EventKind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.String() == "" || e.Kind.String() == "event?" {
+			t.Errorf("bad event rendering: %+v", e)
+		}
+	}
+	for _, k := range []EventKind{EventAnalyzed, EventInjected, EventHibernate, EventDeoptimized, EventAwake} {
+		if counts[k] == 0 {
+			t.Errorf("no %s events observed", k)
+		}
+	}
+	// Injections and deoptimizations pair up (the final one may be open).
+	if d := counts[EventInjected] - counts[EventDeoptimized]; d < 0 || d > 1 {
+		t.Errorf("injections (%d) and deoptimizations (%d) unbalanced",
+			counts[EventInjected], counts[EventDeoptimized])
+	}
+}
+
+// TestNoStreamsGracefulCycle runs the optimizer over a program with no
+// repeating reference structure: analysis finds nothing, no injection
+// happens, and the run completes with only framework overhead.
+func TestNoStreamsGracefulCycle(t *testing.T) {
+	// A program whose loads stride over fresh addresses forever: no
+	// subsequence ever repeats, so no hot data streams exist.
+	b := machine.NewBuilder()
+	b.Proc("main").
+		Const(1, 20000).
+		Const(2, 64).
+		Label("head").
+		Load(3, 2, 0).
+		AddImm(2, 2, 32).
+		Loop(1, "head").
+		Ret()
+	prog, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vulcan.Instrument(prog)
+	m := machine.New(prog, 1<<17, testCache())
+	res, err := Run(m, testConfig(ModeDynPref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptCycles() == 0 {
+		t.Fatal("cycles should still complete")
+	}
+	avg := res.AvgPerCycle()
+	if avg.HotStreams != 0 || avg.ProcsModified != 0 {
+		t.Errorf("no streams should be found: %+v", avg)
+	}
+	if res.Machine.Prefetches != 0 {
+		t.Error("nothing should be prefetched")
+	}
+}
+
+// TestStaleFrameKeepsRunningOriginalCode reproduces the paper's §3.2 safety
+// argument: return addresses on the stack at optimization time keep
+// referring to original procedures, so a frame live across an injection
+// continues executing unoptimized code (missed opportunities, never
+// wrong execution), while fresh calls run the optimized clone.
+func TestStaleFrameKeepsRunningOriginalCode(t *testing.T) {
+	// main calls outer once; outer runs a long loop calling leaf each
+	// iteration. We inject while outer's frame is live: leaf (freshly
+	// called each iteration) must switch to its clone; outer must not.
+	b := machine.NewBuilder()
+	b.Proc("main").
+		Call("outer").
+		Ret()
+	b.Proc("outer").
+		Const(1, 50).
+		Const(2, 0x400).
+		Label("head").
+		Load(3, 2, 0). // outer's own ref
+		Call("leaf").
+		Loop(1, "head").
+		Ret()
+	b.Proc("leaf").
+		Const(4, 0x800).
+		Load(5, 4, 0).
+		Ret()
+	prog, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vulcan.Instrument(prog)
+
+	var outerLoadPC, leafLoadPC int
+	for _, proc := range prog.Procs {
+		for _, in := range proc.Body[0] {
+			if in.Op == machine.OpLoad {
+				switch proc.Name {
+				case "outer":
+					outerLoadPC = int(in.PC)
+				case "leaf":
+					leafLoadPC = int(in.PC)
+				}
+			}
+		}
+	}
+
+	m := machine.New(prog, 1<<12, testCache())
+	matched := map[int]int{}
+	rt := &injectOnceRT{
+		m: m, prog: prog,
+		pcs:     map[int]bool{outerLoadPC: true, leafLoadPC: true},
+		matched: matched,
+	}
+	m.RT = rt
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.injected {
+		t.Fatal("injection never happened")
+	}
+	if matched[leafLoadPC] == 0 {
+		t.Error("fresh calls to leaf must execute the injected clone")
+	}
+	if matched[outerLoadPC] != 0 {
+		t.Errorf("outer's live frame must keep running original code, saw %d matches",
+			matched[outerLoadPC])
+	}
+}
+
+// injectOnceRT injects at the 5th check and records which pcs' injected
+// checks execute.
+type injectOnceRT struct {
+	m        *machine.Machine
+	prog     *machine.Program
+	pcs      map[int]bool
+	matched  map[int]int
+	checks   int
+	injected bool
+}
+
+func (r *injectOnceRT) Check(pc int) (machine.Version, uint64) {
+	r.checks++
+	if r.checks == 5 && !r.injected {
+		vulcan.Inject(r.prog, r.pcs)
+		r.injected = true
+	}
+	return machine.VersionChecking, 0
+}
+func (r *injectOnceRT) TraceRef(pc int, addr machine.Word, isWrite bool) uint64 { return 0 }
+func (r *injectOnceRT) Match(pc int, addr machine.Word) ([]machine.Word, uint64) {
+	r.matched[pc]++
+	return nil, 0
+}

@@ -1,0 +1,88 @@
+// Package ref defines the data-reference representation shared by the
+// profiling, analysis, and prefetching layers.
+//
+// Following the paper (§2.1), a data reference r is a load or store of a
+// particular address, represented as the pair (r.pc, r.addr). The profiling
+// layer interns references into dense symbol identifiers so that the Sequitur
+// grammar (which operates on integer terminals) and the hot-data-stream
+// analysis can work with compact values and map results back to concrete
+// references.
+package ref
+
+import "fmt"
+
+// Ref is a single data reference: a load or store of address Addr executed by
+// the static instruction identified by PC. PC values are the stable
+// instruction identities assigned by the machine package; they survive
+// procedure cloning by dynamic instrumentation.
+type Ref struct {
+	PC   int
+	Addr uint64
+}
+
+// String renders the reference in the paper's "pc:addr" style.
+func (r Ref) String() string {
+	return fmt.Sprintf("%d:0x%x", r.PC, r.Addr)
+}
+
+// Symbol is a dense identifier for an interned Ref. Symbols are the terminal
+// alphabet of the Sequitur grammar.
+type Symbol uint32
+
+// Interner assigns dense Symbol identifiers to references and maps them back.
+// The zero value is ready to use.
+type Interner struct {
+	ids  map[Ref]Symbol
+	refs []Ref
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Ref]Symbol)}
+}
+
+// Intern returns the symbol for r, allocating a new one on first sight.
+func (in *Interner) Intern(r Ref) Symbol {
+	if in.ids == nil {
+		in.ids = make(map[Ref]Symbol)
+	}
+	if s, ok := in.ids[r]; ok {
+		return s
+	}
+	s := Symbol(len(in.refs))
+	in.ids[r] = s
+	in.refs = append(in.refs, r)
+	return s
+}
+
+// Lookup returns the symbol for r and whether it has been interned.
+func (in *Interner) Lookup(r Ref) (Symbol, bool) {
+	s, ok := in.ids[r]
+	return s, ok
+}
+
+// Ref returns the reference for a previously interned symbol.
+// It panics if s was never returned by Intern.
+func (in *Interner) Ref(s Symbol) Ref {
+	return in.refs[s]
+}
+
+// Len reports the number of distinct references interned so far.
+func (in *Interner) Len() int { return len(in.refs) }
+
+// Reset discards all interned references, recycling the storage.
+func (in *Interner) Reset() {
+	clear(in.ids)
+	in.refs = in.refs[:0]
+}
+
+// Stream is a hot data stream: a sequence of references that frequently
+// repeats in the same order, together with its regularity magnitude
+// (heat = length × frequency, §2.3).
+type Stream struct {
+	Refs []Ref
+	Heat uint64
+}
+
+// Len returns the number of references in the stream.
+func (s Stream) Len() int { return len(s.Refs) }

@@ -1,0 +1,107 @@
+package ref
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	in := NewInterner()
+	a := Ref{PC: 1, Addr: 0x100}
+	b := Ref{PC: 2, Addr: 0x200}
+	sa := in.Intern(a)
+	sb := in.Intern(b)
+	if sa == sb {
+		t.Fatal("distinct refs must get distinct symbols")
+	}
+	if in.Intern(a) != sa {
+		t.Error("re-interning must return the same symbol")
+	}
+	if in.Ref(sa) != a || in.Ref(sb) != b {
+		t.Error("Ref must invert Intern")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	in := NewInterner()
+	r := Ref{PC: 3, Addr: 0x300}
+	if _, ok := in.Lookup(r); ok {
+		t.Error("Lookup of un-interned ref must fail")
+	}
+	s := in.Intern(r)
+	got, ok := in.Lookup(r)
+	if !ok || got != s {
+		t.Error("Lookup must find interned ref")
+	}
+}
+
+func TestZeroValueInterner(t *testing.T) {
+	var in Interner
+	s := in.Intern(Ref{PC: 1, Addr: 2})
+	if in.Ref(s) != (Ref{PC: 1, Addr: 2}) {
+		t.Error("zero-value interner must be usable")
+	}
+}
+
+func TestReset(t *testing.T) {
+	in := NewInterner()
+	in.Intern(Ref{PC: 1, Addr: 1})
+	in.Reset()
+	if in.Len() != 0 {
+		t.Error("Reset must clear")
+	}
+	s := in.Intern(Ref{PC: 2, Addr: 2})
+	if s != 0 {
+		t.Errorf("first symbol after reset = %d, want 0", s)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{PC: 5, Addr: 0xff}
+	if r.String() != "5:0xff" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestStreamLen(t *testing.T) {
+	s := Stream{Refs: []Ref{{1, 1}, {2, 2}}, Heat: 4}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+// Property: symbols are dense, stable, and invertible.
+func TestPropertyInternerBijective(t *testing.T) {
+	f := func(pcs []uint16, addrs []uint16) bool {
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		in := NewInterner()
+		seen := map[Ref]Symbol{}
+		for i := 0; i < n; i++ {
+			r := Ref{PC: int(pcs[i]), Addr: uint64(addrs[i])}
+			s := in.Intern(r)
+			if prev, ok := seen[r]; ok {
+				if prev != s {
+					return false
+				}
+			} else {
+				if int(s) != len(seen) { // dense allocation
+					return false
+				}
+				seen[r] = s
+			}
+			if in.Ref(s) != r {
+				return false
+			}
+		}
+		return in.Len() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package reuse computes LRU stack (reuse) distances of cache-block traces:
+// for each access, the number of distinct blocks touched since the previous
+// access to the same block. Under LRU, an access hits a cache of capacity C
+// exactly when its reuse distance is below C (per set, approximately, for
+// set-associative caches), so the distance distribution predicts miss
+// behaviour independent of any particular cache.
+//
+// The reproduction uses it to validate its workload construction: the
+// paper's effect requires hot data stream reuse distances to exceed the L2
+// capacity (otherwise the streams would be cache-resident and there would
+// be nothing to prefetch). See the reuse-distance experiment in
+// internal/experiment.
+package reuse
+
+// Infinite is the distance reported for a block's first access.
+const Infinite = ^uint64(0)
+
+// fenwick is a binary indexed tree over access positions; a 1 marks the
+// current most-recent access position of some block.
+type fenwick struct {
+	tree []uint64
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]uint64, n+1)} }
+
+func (f *fenwick) add(i int, delta uint64) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the prefix sum over positions [0, i].
+func (f *fenwick) sum(i int) uint64 {
+	var s uint64
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Distances returns the reuse distance of every access in the block trace,
+// Infinite for first touches. It runs in O(n log n).
+func Distances(blocks []uint64) []uint64 {
+	out := make([]uint64, len(blocks))
+	last := make(map[uint64]int, 1024)
+	bit := newFenwick(len(blocks))
+	var active uint64 // number of distinct blocks seen so far
+	for t, b := range blocks {
+		if prev, ok := last[b]; ok {
+			// Distinct blocks touched after prev: active positions in
+			// (prev, t).
+			out[t] = active - bit.sum(prev)
+			bit.add(prev, ^uint64(0)) // remove the old position (subtract 1)
+		} else {
+			out[t] = Infinite
+			active++
+		}
+		bit.add(t, 1)
+		last[b] = t
+	}
+	return out
+}
+
+// Histogram buckets reuse distances by the given ascending capacity bounds.
+// Counts[i] holds accesses with distance < Bounds[i] (and >= Bounds[i-1]);
+// Beyond counts finite distances >= the last bound; Cold counts first
+// touches.
+type Histogram struct {
+	Bounds []uint64
+	Counts []uint64
+	Beyond uint64
+	Cold   uint64
+	Total  uint64
+}
+
+// Compute builds a reuse-distance histogram of the block trace.
+func Compute(blocks []uint64, bounds []uint64) Histogram {
+	h := Histogram{
+		Bounds: append([]uint64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)),
+		Total:  uint64(len(blocks)),
+	}
+	for _, d := range Distances(blocks) {
+		switch {
+		case d == Infinite:
+			h.Cold++
+		default:
+			placed := false
+			for i, b := range h.Bounds {
+				if d < b {
+					h.Counts[i]++
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				h.Beyond++
+			}
+		}
+	}
+	return h
+}
+
+// FractionAtLeast returns the fraction of non-cold accesses whose reuse
+// distance is at least bound.
+func (h Histogram) FractionAtLeast(bound uint64) float64 {
+	warm := h.Total - h.Cold
+	if warm == 0 {
+		return 0
+	}
+	var n uint64 = h.Beyond
+	for i, b := range h.Bounds {
+		if b > bound {
+			n += h.Counts[i]
+		}
+	}
+	// Counts[i] covers [Bounds[i-1], Bounds[i]); include buckets whose lower
+	// edge is >= bound. The loop above approximates by bucket upper edge;
+	// callers should pass bound equal to one of the bucket bounds for exact
+	// results.
+	return float64(n) / float64(warm)
+}

@@ -1,0 +1,168 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistancesHandCases(t *testing.T) {
+	cases := []struct {
+		trace []uint64
+		want  []uint64
+	}{
+		{[]uint64{}, []uint64{}},
+		{[]uint64{7}, []uint64{Infinite}},
+		{[]uint64{7, 7}, []uint64{Infinite, 0}},
+		{[]uint64{1, 2, 1}, []uint64{Infinite, Infinite, 1}},
+		{[]uint64{1, 2, 3, 1}, []uint64{Infinite, Infinite, Infinite, 2}},
+		// Repeated interleavings: a b a b -> a sees {b}, b sees {a}.
+		{[]uint64{1, 2, 1, 2}, []uint64{Infinite, Infinite, 1, 1}},
+		// Touching b twice between a's accesses still counts b once.
+		{[]uint64{1, 2, 2, 1}, []uint64{Infinite, Infinite, 0, 1}},
+	}
+	for _, c := range cases {
+		got := Distances(c.trace)
+		if len(got) != len(c.want) {
+			t.Fatalf("trace %v: lengths differ", c.trace)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("trace %v: distance[%d] = %d, want %d", c.trace, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// naiveDistances is the O(n^2) specification.
+func naiveDistances(blocks []uint64) []uint64 {
+	out := make([]uint64, len(blocks))
+	for t, b := range blocks {
+		prev := -1
+		for i := t - 1; i >= 0; i-- {
+			if blocks[i] == b {
+				prev = i
+				break
+			}
+		}
+		if prev < 0 {
+			out[t] = Infinite
+			continue
+		}
+		distinct := map[uint64]bool{}
+		for i := prev + 1; i < t; i++ {
+			distinct[blocks[i]] = true
+		}
+		out[t] = uint64(len(distinct))
+	}
+	return out
+}
+
+// Property: the Fenwick implementation matches the quadratic specification.
+func TestPropertyMatchesNaive(t *testing.T) {
+	f := func(seed int64, n8 uint8, alpha uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(n8)%200 + 1
+		k := int(alpha)%20 + 1
+		trace := make([]uint64, n)
+		for i := range trace {
+			trace[i] = uint64(r.Intn(k))
+		}
+		got := Distances(trace)
+		want := naiveDistances(trace)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeHistogram(t *testing.T) {
+	// Cyclic trace over 4 blocks: after the cold pass, every access has
+	// distance 3.
+	var trace []uint64
+	for lap := 0; lap < 5; lap++ {
+		trace = append(trace, 1, 2, 3, 4)
+	}
+	h := Compute(trace, []uint64{2, 8})
+	if h.Cold != 4 {
+		t.Errorf("Cold = %d, want 4", h.Cold)
+	}
+	if h.Counts[0] != 0 || h.Counts[1] != 16 {
+		t.Errorf("Counts = %v, want [0 16]", h.Counts)
+	}
+	if h.Beyond != 0 {
+		t.Errorf("Beyond = %d, want 0", h.Beyond)
+	}
+	if h.Total != 20 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	// All warm accesses have distance 3 >= 2.
+	if got := h.FractionAtLeast(2); got != 1 {
+		t.Errorf("FractionAtLeast(2) = %v, want 1", got)
+	}
+	// None have distance >= 8.
+	if got := h.FractionAtLeast(8); got != 0 {
+		t.Errorf("FractionAtLeast(8) = %v, want 0", got)
+	}
+}
+
+func TestHistogramLRUEquivalence(t *testing.T) {
+	// Sanity link to caching: for a fully-associative LRU cache of C
+	// blocks, hits = accesses with distance < C. Check on a random trace
+	// against a simple LRU simulation.
+	r := rand.New(rand.NewSource(9))
+	trace := make([]uint64, 2000)
+	for i := range trace {
+		trace[i] = uint64(r.Intn(50))
+	}
+	const capacity = 16
+
+	// LRU simulation.
+	var lru []uint64
+	hits := 0
+	for _, b := range trace {
+		found := -1
+		for i, x := range lru {
+			if x == b {
+				found = i
+				break
+			}
+		}
+		if found >= 0 {
+			hits++
+			lru = append(lru[:found], lru[found+1:]...)
+		} else if len(lru) == capacity {
+			lru = lru[:capacity-1]
+		}
+		lru = append([]uint64{b}, lru...)
+	}
+
+	// Distance-based prediction.
+	predicted := 0
+	for _, d := range Distances(trace) {
+		if d != Infinite && d < capacity {
+			predicted++
+		}
+	}
+	if predicted != hits {
+		t.Errorf("distance-predicted hits %d != simulated LRU hits %d", predicted, hits)
+	}
+}
+
+func BenchmarkDistances(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	trace := make([]uint64, 100000)
+	for i := range trace {
+		trace[i] = uint64(r.Intn(5000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distances(trace)
+	}
+}

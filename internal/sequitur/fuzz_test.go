@@ -1,0 +1,58 @@
+package sequitur
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip drives the grammar with arbitrary byte strings and checks
+// the fundamental invariant: the grammar expands back to its input and its
+// structural invariants hold.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("abaabcabcabcabc"))
+	f.Add([]byte("aaaa"))
+	f.Add([]byte(""))
+	f.Add([]byte("abcabcabdabcabd"))
+	f.Add(bytes.Repeat([]byte("xy"), 50))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		g := New()
+		for _, b := range data {
+			g.Append(uint64(b))
+		}
+		if g.Len() != uint64(len(data)) {
+			t.Fatalf("Len = %d, want %d", g.Len(), len(data))
+		}
+		snap := g.Snapshot()
+		out := snap.Expand(0)
+		if len(out) != len(data) {
+			t.Fatalf("expansion length %d, want %d", len(out), len(data))
+		}
+		for i, v := range out {
+			if v != uint64(data[i]) {
+				t.Fatalf("expansion differs at %d: %d != %d", i, v, data[i])
+			}
+		}
+		// Rule utility: every non-start rule used at least twice with at
+		// least two symbols.
+		refs := make([]int, len(snap.Rules))
+		for _, r := range snap.Rules {
+			for _, sym := range r.Syms {
+				if !sym.IsTerminal() {
+					refs[sym.Rule]++
+				}
+			}
+		}
+		for ri := 1; ri < len(snap.Rules); ri++ {
+			if refs[ri] < 2 {
+				t.Fatalf("rule %d used %d times", ri, refs[ri])
+			}
+			if len(snap.Rules[ri].Syms) < 2 {
+				t.Fatalf("rule %d has %d symbols", ri, len(snap.Rules[ri].Syms))
+			}
+		}
+	})
+}

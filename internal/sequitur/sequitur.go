@@ -1,0 +1,248 @@
+// Package sequitur implements the Sequitur algorithm of Nevill-Manning and
+// Witten (paper reference [23]): linear-time, incremental inference of a
+// context-free grammar that generates exactly the input string.
+//
+// The profiling phase of the paper (§2.3) feeds each sampled data reference,
+// encoded as an integer symbol, into Sequitur as it is collected; the
+// resulting grammar is a compressed, hierarchical representation of the
+// temporal data reference profile from which hot data streams are extracted.
+//
+// The implementation maintains the algorithm's two invariants:
+//
+//   - digram uniqueness: no pair of adjacent symbols appears more than once
+//     in the grammar (except when occurrences overlap, as in "aaa");
+//   - rule utility: every rule other than the start rule is used at least
+//     twice.
+//
+// Appending a symbol is amortized O(1); the grammar is deterministic.
+package sequitur
+
+// digram identifies an adjacent symbol pair. Terminals and rules are encoded
+// into disjoint key spaces.
+type digram struct {
+	a, b uint64
+}
+
+// symbol is a node in a rule's doubly-linked right-hand side. Each rule's
+// RHS is a circular list closed by a guard node; the guard's rule field
+// points at the owning rule so the container of any symbol is reachable.
+type symbol struct {
+	next, prev *symbol
+	value      uint64 // terminal value (when rule == nil)
+	rule       *rule  // target rule (nonterminal) or owner (guard)
+	guard      bool
+}
+
+func (s *symbol) isNonterminal() bool { return !s.guard && s.rule != nil }
+
+// key encodes the symbol's identity for digram lookup.
+func (s *symbol) key() uint64 {
+	if s.rule != nil {
+		return uint64(s.rule.id)<<1 | 1
+	}
+	return s.value << 1
+}
+
+// rule is a grammar production.
+type rule struct {
+	id    int
+	guard *symbol
+	count int // number of nonterminal symbols referencing this rule
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+
+// Grammar is an incrementally-built Sequitur grammar. The zero value is not
+// usable; call New.
+type Grammar struct {
+	digrams map[digram]*symbol
+	start   *rule
+	nextID  int
+	length  uint64 // terminals appended so far
+	symbols int    // symbols currently on all right-hand sides
+	rules   int    // live rules including the start rule
+}
+
+// New returns an empty grammar.
+func New() *Grammar {
+	g := &Grammar{digrams: make(map[digram]*symbol)}
+	g.start = g.newRule()
+	return g
+}
+
+func (g *Grammar) newRule() *rule {
+	r := &rule{id: g.nextID}
+	g.nextID++
+	guard := &symbol{rule: r, guard: true}
+	guard.next = guard
+	guard.prev = guard
+	r.guard = guard
+	g.rules++
+	return r
+}
+
+// Len returns the number of terminals appended so far.
+func (g *Grammar) Len() uint64 { return g.length }
+
+// NumRules returns the number of live rules, including the start rule.
+func (g *Grammar) NumRules() int { return g.rules }
+
+// Size returns the total number of symbols on all right-hand sides — the
+// grammar size that the hot-data-stream analysis is linear in.
+func (g *Grammar) Size() int { return g.symbols }
+
+// Append adds one terminal to the end of the input string, restoring the
+// grammar invariants.
+func (g *Grammar) Append(v uint64) {
+	g.length++
+	s := &symbol{value: v}
+	g.insertAfter(g.start.last(), s)
+	if prev := s.prev; !prev.guard {
+		g.check(prev)
+	}
+}
+
+// AppendAll appends each value in order.
+func (g *Grammar) AppendAll(vs []uint64) {
+	for _, v := range vs {
+		g.Append(v)
+	}
+}
+
+// insertAfter links s into the list after pos, updating the digram index.
+func (g *Grammar) insertAfter(pos, s *symbol) {
+	g.symbols++
+	if s.isNonterminal() {
+		s.rule.count++
+	}
+	g.join(s, pos.next)
+	g.join(pos, s)
+}
+
+// remove unlinks s from its list, joining its neighbors and cleaning up the
+// digram table and reference counts (the canonical symbol destructor).
+func (g *Grammar) remove(s *symbol) {
+	g.join(s.prev, s.next)
+	if !s.guard {
+		g.deleteDigram(s)
+		if s.isNonterminal() {
+			s.rule.count--
+		}
+		g.symbols--
+	}
+}
+
+// join makes right follow left. If left previously had a successor, its old
+// digram is removed; the triple-handling re-inserts digrams for runs like
+// "aaa" whose table entries pointed into the removed region.
+func (g *Grammar) join(left, right *symbol) {
+	if left.next != nil {
+		g.deleteDigram(left)
+		if sameKey(right.prev, right) && sameKey(right, right.next) {
+			g.digrams[digram{right.key(), right.next.key()}] = right
+		}
+		if sameKey(left.prev, left) && sameKey(left, left.next) {
+			g.digrams[digram{left.prev.key(), left.key()}] = left.prev
+		}
+	}
+	left.next = right
+	right.prev = left
+}
+
+// sameKey reports whether a and b are both non-guard symbols with the same
+// identity.
+func sameKey(a, b *symbol) bool {
+	return a != nil && b != nil && !a.guard && !b.guard && a.key() == b.key()
+}
+
+// deleteDigram removes the table entry for the digram starting at s, if s
+// owns it.
+func (g *Grammar) deleteDigram(s *symbol) {
+	if s == nil || s.guard || s.next == nil || s.next.guard {
+		return
+	}
+	d := digram{s.key(), s.next.key()}
+	if g.digrams[d] == s {
+		delete(g.digrams, d)
+	}
+}
+
+// check enforces digram uniqueness for the digram beginning at s. It returns
+// true if a duplicate was found.
+func (g *Grammar) check(s *symbol) bool {
+	if s.guard || s.next == nil || s.next.guard {
+		return false
+	}
+	d := digram{s.key(), s.next.key()}
+	m, ok := g.digrams[d]
+	if !ok {
+		g.digrams[d] = s
+		return false
+	}
+	if m == s {
+		return false
+	}
+	if m.next != s {
+		// Non-overlapping duplicate: enforce uniqueness.
+		g.match(s, m)
+		return true
+	}
+	// Overlapping occurrences, as in "aaa", are left alone; report no match
+	// so the caller still checks the neighboring digram.
+	return false
+}
+
+// match resolves a duplicate digram: s and m begin the same digram at
+// different positions.
+func (g *Grammar) match(s, m *symbol) {
+	var r *rule
+	if m.prev.guard && m.next.next.guard {
+		// The matching digram is exactly the RHS of an existing rule; reuse
+		// it.
+		r = m.prev.rule
+		g.substitute(s, r)
+	} else {
+		// Create a new rule for the digram and substitute both occurrences.
+		r = g.newRule()
+		g.insertAfter(r.last(), &symbol{value: s.value, rule: s.rule})
+		g.insertAfter(r.last(), &symbol{value: s.next.value, rule: s.next.rule})
+		g.substitute(m, r)
+		g.substitute(s, r)
+		g.digrams[digram{r.first().key(), r.first().next.key()}] = r.first()
+	}
+	// Rule utility: if the new rule's first symbol is a nonterminal now used
+	// only once, inline it.
+	if f := r.first(); f.isNonterminal() && f.rule.count == 1 {
+		g.expand(f)
+	}
+}
+
+// substitute replaces the digram starting at s with a nonterminal
+// referencing r.
+func (g *Grammar) substitute(s *symbol, r *rule) {
+	q := s.prev
+	g.remove(s.next)
+	g.remove(s)
+	nt := &symbol{rule: r}
+	g.insertAfter(q, nt)
+	if !g.check(q) {
+		g.check(nt)
+	}
+}
+
+// expand inlines the rule referenced by nonterminal s (which must have
+// count 1) into s's position and deletes the rule.
+func (g *Grammar) expand(s *symbol) {
+	left, right := s.prev, s.next
+	r := s.rule
+	f, l := r.first(), r.last()
+
+	g.deleteDigram(s)
+	g.symbols-- // s disappears without a neighbor join
+	g.join(left, f)
+	g.join(l, right)
+	g.digrams[digram{l.key(), right.key()}] = l
+	g.rules--
+	r.guard = nil
+}

@@ -1,0 +1,301 @@
+package sequitur
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fromString builds a grammar over a lowercase-letter string, using the
+// encoding of the paper's examples (a=0, b=1, ...).
+func fromString(s string) *Grammar {
+	g := New()
+	for _, c := range s {
+		g.Append(uint64(c - 'a'))
+	}
+	return g
+}
+
+func expandString(snap *Snapshot, rule int) string {
+	var b strings.Builder
+	for _, v := range snap.Expand(rule) {
+		b.WriteByte(byte('a' + v))
+	}
+	return b.String()
+}
+
+// TestPaperFigure4 reproduces the worked example of paper Figure 4:
+// w = abaabcabcabcabc yields S -> AaBB, A -> ab, B -> CC, C -> Ac.
+func TestPaperFigure4(t *testing.T) {
+	const w = "abaabcabcabcabc"
+	g := fromString(w)
+	snap := g.Snapshot()
+
+	if got := expandString(snap, 0); got != w {
+		t.Fatalf("grammar expands to %q, want %q", got, w)
+	}
+	if len(snap.Rules) != 4 {
+		t.Fatalf("grammar has %d rules, want 4:\n%s", len(snap.Rules), snap)
+	}
+
+	// Identify rules by their expansions, since dense indices depend on
+	// discovery order.
+	byWord := map[string]int{}
+	for i := range snap.Rules {
+		byWord[expandString(snap, i)] = i
+	}
+	a, okA := byWord["ab"]
+	b, okB := byWord["abcabc"]
+	c, okC := byWord["abc"]
+	if !okA || !okB || !okC {
+		t.Fatalf("missing expected rules; got grammar:\n%s", snap)
+	}
+
+	// S -> A a B B
+	s := snap.Rules[0].Syms
+	want := []Sym{{Rule: a}, {Rule: -1, Value: 0}, {Rule: b}, {Rule: b}}
+	if len(s) != 4 || s[0] != want[0] || s[1] != want[1] || s[2] != want[2] || s[3] != want[3] {
+		t.Errorf("S = %v, want A a B B (A=%d, B=%d):\n%s", s, a, b, snap)
+	}
+	// B -> C C
+	bs := snap.Rules[b].Syms
+	if len(bs) != 2 || bs[0].Rule != c || bs[1].Rule != c {
+		t.Errorf("B = %v, want C C:\n%s", bs, snap)
+	}
+	// C -> A c
+	cs := snap.Rules[c].Syms
+	if len(cs) != 2 || cs[0].Rule != a || !cs[1].IsTerminal() || cs[1].Value != 2 {
+		t.Errorf("C = %v, want A c:\n%s", cs, snap)
+	}
+	// Expansion lengths (paper Figure 6 word lengths: S=15, A=2, B=6, C=3).
+	if snap.Rules[0].Len != 15 || snap.Rules[a].Len != 2 || snap.Rules[b].Len != 6 || snap.Rules[c].Len != 3 {
+		t.Errorf("lengths = S:%d A:%d B:%d C:%d, want 15/2/6/3",
+			snap.Rules[0].Len, snap.Rules[a].Len, snap.Rules[b].Len, snap.Rules[c].Len)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	g := New()
+	snap := g.Snapshot()
+	if len(snap.Rules) != 1 || len(snap.Rules[0].Syms) != 0 {
+		t.Errorf("empty grammar should have one empty rule, got:\n%s", snap)
+	}
+	g.Append(7)
+	snap = g.Snapshot()
+	if got := snap.Expand(0); len(got) != 1 || got[0] != 7 {
+		t.Errorf("Expand = %v, want [7]", got)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestRepetitionCompresses(t *testing.T) {
+	g := New()
+	for i := 0; i < 64; i++ {
+		g.AppendAll([]uint64{1, 2, 3, 4})
+	}
+	if g.NumRules() < 2 {
+		t.Error("repetitive input should create rules")
+	}
+	if g.Size() >= 256 {
+		t.Errorf("grammar size %d should be much smaller than input 256", g.Size())
+	}
+	snap := g.Snapshot()
+	out := snap.Expand(0)
+	if len(out) != 256 {
+		t.Fatalf("expansion length %d, want 256", len(out))
+	}
+	for i, v := range out {
+		if v != uint64(i%4)+1 {
+			t.Fatalf("expansion wrong at %d: %d", i, v)
+		}
+	}
+}
+
+func TestTriples(t *testing.T) {
+	// Runs of identical symbols exercise the overlapping-digram path.
+	for _, w := range []string{"aaa", "aaaa", "aaaaa", "aaabaaab", "aabaa", "abbba"} {
+		g := fromString(w)
+		snap := g.Snapshot()
+		if got := expandString(snap, 0); got != w {
+			t.Errorf("round-trip of %q failed: got %q\n%s", w, got, snap)
+		}
+		checkInvariants(t, snap, w)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	const w = "abcabcabdabcabdxyzxyzabc"
+	s1 := fromString(w).Snapshot().String()
+	s2 := fromString(w).Snapshot().String()
+	if s1 != s2 {
+		t.Errorf("grammar construction not deterministic:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+func TestSnapshotIsolatedFromLaterAppends(t *testing.T) {
+	g := fromString("abcabc")
+	snap := g.Snapshot()
+	before := snap.String()
+	g.AppendAll([]uint64{0, 1, 2, 0, 1, 2})
+	if snap.String() != before {
+		t.Error("snapshot mutated by later appends")
+	}
+}
+
+func TestSizeMatchesSnapshot(t *testing.T) {
+	g := fromString("abaabcabcabcabc")
+	snap := g.Snapshot()
+	if g.Size() != snap.Size() {
+		t.Errorf("Grammar.Size() = %d, Snapshot.Size() = %d", g.Size(), snap.Size())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := fromString("abab")
+	out := g.Snapshot().String()
+	if !strings.Contains(out, "S ->") {
+		t.Errorf("rendering missing start rule: %q", out)
+	}
+	if !strings.Contains(out, "a b") {
+		t.Errorf("rendering should contain the digram rule: %q", out)
+	}
+}
+
+// checkInvariants verifies the two Sequitur invariants on a snapshot:
+// digram uniqueness (duplicate occurrences must overlap) and rule utility
+// (every non-start rule referenced at least twice), plus length consistency.
+func checkInvariants(t *testing.T, snap *Snapshot, input string) {
+	t.Helper()
+	type occ struct{ rule, pos int }
+	type dig struct{ a, b Sym }
+	occurrences := map[dig][]occ{}
+	refs := make([]int, len(snap.Rules))
+	for ri, r := range snap.Rules {
+		for i, sym := range r.Syms {
+			if !sym.IsTerminal() {
+				refs[sym.Rule]++
+			}
+			if i+1 < len(r.Syms) {
+				d := dig{r.Syms[i], r.Syms[i+1]}
+				occurrences[d] = append(occurrences[d], occ{ri, i})
+			}
+		}
+	}
+	for d, occs := range occurrences {
+		for i := 0; i < len(occs); i++ {
+			for j := i + 1; j < len(occs); j++ {
+				a, b := occs[i], occs[j]
+				overlap := a.rule == b.rule && (a.pos+1 == b.pos || b.pos+1 == a.pos)
+				if !overlap {
+					t.Errorf("input %q: digram %v occurs at %v and %v without overlap\n%s",
+						input, d, a, b, snap)
+				}
+			}
+		}
+	}
+	for ri := 1; ri < len(snap.Rules); ri++ {
+		if refs[ri] < 2 {
+			t.Errorf("input %q: rule %d used %d times, want >= 2\n%s", input, ri, refs[ri], snap)
+		}
+		if len(snap.Rules[ri].Syms) < 2 {
+			t.Errorf("input %q: rule %d has %d symbols, want >= 2\n%s",
+				input, ri, len(snap.Rules[ri].Syms), snap)
+		}
+	}
+	// Length consistency.
+	for ri := range snap.Rules {
+		if int(snap.Rules[ri].Len) != len(snap.Expand(ri)) {
+			t.Errorf("input %q: rule %d Len=%d but expansion has %d symbols",
+				input, ri, snap.Rules[ri].Len, len(snap.Expand(ri)))
+		}
+	}
+}
+
+// Property: round-trip over random small-alphabet strings, with invariants.
+func TestPropertyRoundTripAndInvariants(t *testing.T) {
+	f := func(data []byte, alpha uint8) bool {
+		k := int(alpha%5) + 2
+		var b strings.Builder
+		for _, d := range data {
+			b.WriteByte('a' + d%byte(k))
+		}
+		w := b.String()
+		g := fromString(w)
+		if g.Len() != uint64(len(w)) {
+			return false
+		}
+		snap := g.Snapshot()
+		if expandString(snap, 0) != w {
+			return false
+		}
+		checkInvariants(t, snap, w)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: highly repetitive inputs yield grammars logarithmic-ish in input
+// size (sanity bound: size at most half the input for 64+ repetitions).
+func TestPropertyCompressionOnRepeats(t *testing.T) {
+	f := func(seed int64, period uint8) bool {
+		p := int(period%6) + 2
+		r := rand.New(rand.NewSource(seed))
+		unit := make([]uint64, p)
+		for i := range unit {
+			unit[i] = uint64(r.Intn(4))
+		}
+		g := New()
+		for i := 0; i < 64; i++ {
+			g.AppendAll(unit)
+		}
+		if expand := g.Snapshot().Expand(0); len(expand) != 64*p {
+			return false
+		}
+		return g.Size() <= 32*p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppendRandom(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	vals := make([]uint64, b.N)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(256))
+	}
+	g := New()
+	b.ResetTimer()
+	for _, v := range vals {
+		g.Append(v)
+	}
+}
+
+func BenchmarkAppendRepetitive(b *testing.B) {
+	// Hot-data-stream-like input: long repeating sequences with occasional
+	// noise, the workload Sequitur sees during profiling.
+	r := rand.New(rand.NewSource(1))
+	stream := make([]uint64, 20)
+	for i := range stream {
+		stream[i] = uint64(i)
+	}
+	vals := make([]uint64, 0, b.N)
+	for len(vals) < b.N {
+		if r.Intn(10) == 0 {
+			vals = append(vals, uint64(100+r.Intn(50)))
+		} else {
+			vals = append(vals, stream...)
+		}
+	}
+	vals = vals[:b.N]
+	g := New()
+	b.ResetTimer()
+	for _, v := range vals {
+		g.Append(v)
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hotprefetch/internal/experiment"
+	"hotprefetch/internal/opt"
+)
+
+// Chart renderers draw the figures as horizontal ASCII bar charts in the
+// style of the paper's grouped bar figures: one group per benchmark, one bar
+// per series, negative bars (speedups) growing left of the axis.
+
+// bar renders a signed percentage as a bar around a zero axis.
+func bar(v, scale float64, width int) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := int(math.Round(math.Abs(v) / scale * float64(width)))
+	if n > width {
+		n = width
+	}
+	left := strings.Repeat(" ", width)
+	right := strings.Repeat(" ", width)
+	if v < 0 {
+		left = strings.Repeat(" ", width-n) + strings.Repeat("#", n)
+	} else {
+		right = strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+	}
+	return left + "|" + right
+}
+
+type series struct {
+	label string
+	value func(*experiment.Run) float64
+}
+
+func chart(title string, runs []*experiment.Run, ss []series, note string) string {
+	const width = 24
+	maxAbs := 1.0
+	for _, r := range runs {
+		for _, s := range ss {
+			if v := math.Abs(s.value(r)); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-9s %-9s %s0%s+%.0f%%\n", "", "", "-"+fmt.Sprintf("%.0f%%", maxAbs)+strings.Repeat(" ", width-6), strings.Repeat(" ", width-4), maxAbs)
+	for _, r := range runs {
+		for i, s := range ss {
+			name := ""
+			if i == 0 {
+				name = r.Params.Name
+			}
+			fmt.Fprintf(&b, "%-9s %-9s %s %+6.1f%%\n",
+				name, s.label, bar(s.value(r), maxAbs, width), s.value(r))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(note + "\n")
+	return b.String()
+}
+
+// ChartFigure11 draws Figure 11 as ASCII bars.
+func ChartFigure11(runs []*experiment.Run) string {
+	return chart(
+		"Figure 11: Overhead of online profiling and analysis",
+		runs,
+		[]series{
+			{"base", func(r *experiment.Run) float64 { return r.Overhead(opt.ModeBase) }},
+			{"prof", func(r *experiment.Run) float64 { return r.Overhead(opt.ModeProfile) }},
+			{"hds", func(r *experiment.Run) float64 { return r.Overhead(opt.ModeHds) }},
+		},
+		"(bars right of the axis are overhead; paper: 3-7% total)",
+	)
+}
+
+// ChartFigure12 draws Figure 12 as ASCII bars; speedups grow leftward.
+func ChartFigure12(runs []*experiment.Run) string {
+	return chart(
+		"Figure 12: Performance impact of dynamic prefetching",
+		runs,
+		[]series{
+			{"no-pref", func(r *experiment.Run) float64 { return r.Overhead(opt.ModeNoPref) }},
+			{"seq-pref", func(r *experiment.Run) float64 { return r.Overhead(opt.ModeSeqPref) }},
+			{"dyn-pref", func(r *experiment.Run) float64 { return r.Overhead(opt.ModeDynPref) }},
+		},
+		"(bars left of the axis are speedups; paper: Dyn-pref improves 5-19%)",
+	)
+}

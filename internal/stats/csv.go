@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"hotprefetch/internal/experiment"
+	"hotprefetch/internal/opt"
+)
+
+// CSV renderers mirror the text renderers for machine consumption
+// (spreadsheets, plotting scripts). Overheads are percentages of the
+// unoptimized baseline; negative values are speedups.
+
+// CSVFigure11 emits benchmark,base,prof,hds.
+func CSVFigure11(runs []*experiment.Run) string {
+	var b strings.Builder
+	b.WriteString("benchmark,base_pct,prof_pct,hds_pct\n")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f\n", r.Params.Name,
+			r.Overhead(opt.ModeBase), r.Overhead(opt.ModeProfile), r.Overhead(opt.ModeHds))
+	}
+	return b.String()
+}
+
+// CSVFigure12 emits benchmark,nopref,seqpref,dynpref.
+func CSVFigure12(runs []*experiment.Run) string {
+	var b strings.Builder
+	b.WriteString("benchmark,nopref_pct,seqpref_pct,dynpref_pct\n")
+	for _, r := range runs {
+		fmt.Fprintf(&b, "%s,%.3f,%.3f,%.3f\n", r.Params.Name,
+			r.Overhead(opt.ModeNoPref), r.Overhead(opt.ModeSeqPref), r.Overhead(opt.ModeDynPref))
+	}
+	return b.String()
+}
+
+// CSVTable2 emits the per-cycle characterization columns.
+func CSVTable2(runs []*experiment.Run) string {
+	var b strings.Builder
+	b.WriteString("benchmark,opt_cycles,traced_refs,hot_streams,dfsm_states,checks,procs_modified\n")
+	for _, r := range runs {
+		res, ok := r.Results[opt.ModeDynPref]
+		if !ok {
+			continue
+		}
+		avg := res.AvgPerCycle()
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d\n", r.Params.Name,
+			res.OptCycles(), avg.TracedRefs, avg.HotStreams,
+			avg.DFSMStates, avg.ChecksInserted, avg.ProcsModified)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+// Package tracefile reads and writes data reference traces in a compact
+// binary format, so profiles can be captured once and analyzed offline —
+// the workflow of the paper's earlier, trace-driven work ([8], [21]) that
+// the online system replaces, and still the right tool for debugging and
+// for feeding external traces into the analysis.
+//
+// Format: an 8-byte header ("HDSTRC" + version + flags), a varint reference
+// count, then per reference a varint pc delta (zigzag) and a varint address
+// delta (zigzag) from the previous reference. Delta coding keeps repetitive
+// traces small.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hotprefetch/internal/ref"
+)
+
+var magic = [8]byte{'H', 'D', 'S', 'T', 'R', 'C', 1, 0}
+
+// Write encodes refs to w.
+func Write(w io.Writer, refs []ref.Ref) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(int64(len(refs))); err != nil {
+		return err
+	}
+	prevPC := int64(0)
+	prevAddr := int64(0)
+	for _, r := range refs {
+		if err := put(int64(r.PC) - prevPC); err != nil {
+			return err
+		}
+		if err := put(int64(r.Addr) - prevAddr); err != nil {
+			return err
+		}
+		prevPC = int64(r.PC)
+		prevAddr = int64(r.Addr)
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) ([]ref.Ref, error) {
+	br := bufio.NewReader(r)
+	var head [8]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: short header: %w", err)
+	}
+	if head != magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", head[:6])
+	}
+	count, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: count: %w", err)
+	}
+	if count < 0 || count > 1<<32 {
+		return nil, fmt.Errorf("tracefile: implausible count %d", count)
+	}
+	refs := make([]ref.Ref, 0, count)
+	prevPC := int64(0)
+	prevAddr := int64(0)
+	for i := int64(0); i < count; i++ {
+		dpc, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: ref %d pc: %w", i, err)
+		}
+		daddr, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: ref %d addr: %w", i, err)
+		}
+		prevPC += dpc
+		prevAddr += daddr
+		refs = append(refs, ref.Ref{PC: int(prevPC), Addr: uint64(prevAddr)})
+	}
+	return refs, nil
+}

@@ -1,0 +1,121 @@
+package tracefile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotprefetch/internal/ref"
+)
+
+func TestRoundTrip(t *testing.T) {
+	refs := []ref.Ref{
+		{PC: 10, Addr: 0x1000},
+		{PC: 12, Addr: 0x1020},
+		{PC: 10, Addr: 0x1000}, // repeat (negative deltas)
+		{PC: 9999, Addr: 1 << 40},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("len = %d, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d = %v, want %v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d refs from empty trace", len(got))
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE-------"))); err == nil {
+		t.Error("bad magic must be rejected")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	refs := make([]ref.Ref, 100)
+	for i := range refs {
+		refs[i] = ref.Ref{PC: i, Addr: uint64(i) * 64}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 9, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestCompressionOnRepetitiveTrace(t *testing.T) {
+	// A hot-data-stream-like trace should encode far smaller than 16 bytes
+	// per reference.
+	var refs []ref.Ref
+	for lap := 0; lap < 100; lap++ {
+		for i := 0; i < 20; i++ {
+			refs = append(refs, ref.Ref{PC: 100 + i, Addr: uint64(0x1000 + i*64)})
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	if perRef := float64(buf.Len()) / float64(len(refs)); perRef > 6 {
+		t.Errorf("%.1f bytes/ref, want delta coding to stay under 6", perRef)
+	}
+}
+
+// Property: round trip over random traces.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		refs := make([]ref.Ref, int(n8))
+		for i := range refs {
+			refs[i] = ref.Ref{PC: r.Intn(1 << 20), Addr: r.Uint64() >> r.Intn(40)}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, refs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

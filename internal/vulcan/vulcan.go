@@ -1,0 +1,202 @@
+// Package vulcan performs the binary-editing operations the paper delegates
+// to Vulcan (references [31, 32]): the static pass that prepares a program
+// for bursty tracing, and the dynamic pass that injects detection and
+// prefetching code into a running program and later removes it.
+//
+// Substitution note (see DESIGN.md §2): Vulcan rewrites x86 binaries; this
+// package performs the same transformations on the virtual-ISA programs of
+// the machine package.
+//
+// Static instrumentation (paper Figure 2): every procedure's code is
+// duplicated. Both versions contain the original instructions plus checks at
+// procedure entries and loop back-edge targets, but only the instrumented
+// version profiles data references (memory ops carry the Traced flag). The
+// checks transfer control between versions via the bursty tracing counters.
+//
+// Dynamic injection (paper Figure 10, §3.2): for every procedure containing
+// a pc at which the optimizer wants detection code, the procedure is copied,
+// the code is injected into the copy, and the original's first instruction
+// is overwritten with an unconditional jump to the copy. De-optimization
+// removes only those jumps; return addresses already on the stack keep
+// executing original code, which is safe but may miss a few prefetching
+// opportunities.
+package vulcan
+
+import (
+	"sort"
+
+	"hotprefetch/internal/machine"
+)
+
+// Instrument applies the static bursty-tracing pass to prog, in place: each
+// procedure gains a check at its entry and at every backward-branch target,
+// and its body is duplicated into checking and instrumented versions. It
+// must be called once, before execution; the original (pre-instrumentation)
+// program should be timed separately to obtain the unoptimized baseline.
+func Instrument(prog *machine.Program) {
+	for _, proc := range prog.Procs {
+		orig := proc.Body[machine.VersionChecking]
+
+		// Insertion points: entry plus every backward-branch target that is
+		// not already a check.
+		before := map[int]bool{}
+		if len(orig) > 0 && orig[0].Op != machine.OpCheck {
+			before[0] = true
+		}
+		for i, in := range orig {
+			if isBranchOp(in.Op) && int(in.Imm) <= i {
+				t := int(in.Imm)
+				if orig[t].Op != machine.OpCheck {
+					before[t] = true
+				}
+			}
+		}
+
+		checking := insertInstrs(orig, before, nil, func() machine.Instr {
+			return machine.Instr{Op: machine.OpCheck, PC: prog.AllocPC()}
+		}, nil)
+
+		instrumented := make([]machine.Instr, len(checking))
+		copy(instrumented, checking)
+		for i := range instrumented {
+			if instrumented[i].IsMemRef() {
+				instrumented[i].Traced = true
+			}
+		}
+		proc.Body[machine.VersionChecking] = checking
+		proc.Body[machine.VersionInstrumented] = instrumented
+	}
+}
+
+// InjectResult records what a dynamic injection changed, so it can be
+// undone and reported (paper Table 2's "# of procs. modified").
+type InjectResult struct {
+	Patched        []int // indices of original procedures whose entry was patched
+	Clones         []int // indices of the clones they jump to
+	ChecksInserted int   // OpMatch instructions inserted across all clones
+}
+
+// ProcsModified returns the number of procedures modified by the injection.
+func (r InjectResult) ProcsModified() int { return len(r.Patched) }
+
+// Inject performs the dynamic optimization step: for every original
+// procedure containing one of the target pcs, it builds a clone with an
+// OpMatch check inserted after each targeted memory instruction, registers
+// the clone, and patches the original's entry to jump to it. The pcs are
+// the stable instruction identities of the hot data streams' head
+// references.
+func Inject(prog *machine.Program, pcs map[int]bool) InjectResult {
+	var res InjectResult
+	nOrig := len(prog.Procs) // clones appended during the loop are skipped
+	for pi := 0; pi < nOrig; pi++ {
+		proc := prog.Procs[pi]
+		if proc.CloneOf != machine.NoRedirect || proc.Redirect != machine.NoRedirect {
+			continue // only unpatched originals are cloned
+		}
+		checking := proc.Body[machine.VersionChecking]
+		after := map[int]bool{}
+		for i, in := range checking {
+			if in.IsMemRef() && in.PC != machine.InjectedPC && pcs[int(in.PC)] {
+				after[i] = true
+			}
+		}
+		if len(after) == 0 {
+			continue
+		}
+
+		clone := &machine.Proc{
+			Name:     proc.Name + "#opt",
+			Redirect: machine.NoRedirect,
+			CloneOf:  pi,
+		}
+		matchFor := func(orig machine.Instr) machine.Instr {
+			return machine.Instr{
+				Op:  machine.OpMatch,
+				PC:  machine.InjectedPC,
+				Imm: int64(orig.PC),
+			}
+		}
+		clone.Body[machine.VersionChecking] =
+			insertInstrs(checking, nil, after, nil, matchFor)
+		clone.Body[machine.VersionInstrumented] =
+			insertInstrs(proc.Body[machine.VersionInstrumented], nil, after, nil, matchFor)
+
+		ci := prog.AddProc(clone)
+		proc.Redirect = ci
+		res.Patched = append(res.Patched, pi)
+		res.Clones = append(res.Clones, ci)
+		res.ChecksInserted += len(after)
+	}
+	return res
+}
+
+// Deoptimize removes the entry jumps installed by Inject. The clones remain
+// registered (frames may still return into them), but fresh calls execute
+// the original code again.
+func Deoptimize(prog *machine.Program, res InjectResult) {
+	for _, pi := range res.Patched {
+		prog.Procs[pi].Redirect = machine.NoRedirect
+	}
+}
+
+func isBranchOp(op machine.Opcode) bool {
+	switch op {
+	case machine.OpLoop, machine.OpJump, machine.OpBeqz, machine.OpBnez:
+		return true
+	}
+	return false
+}
+
+// insertInstrs returns a copy of body with new instructions inserted before
+// the indices in `before` (built by mkBefore) and after the indices in
+// `after` (built from the original instruction by mkAfter). Intra-procedure
+// branch targets are remapped; a branch to an index with an inserted
+// "before" instruction lands on that instruction, so loop back-edges execute
+// the inserted check.
+func insertInstrs(
+	body []machine.Instr,
+	before, after map[int]bool,
+	mkBefore func() machine.Instr,
+	mkAfter func(machine.Instr) machine.Instr,
+) []machine.Instr {
+	out := make([]machine.Instr, 0, len(body)+len(before)+len(after))
+	// branchTarget[i] is where a branch to old index i should now land.
+	branchTarget := make([]int, len(body))
+	for i, in := range body {
+		if before[i] {
+			branchTarget[i] = len(out)
+			out = append(out, mkBefore())
+		} else {
+			branchTarget[i] = len(out)
+		}
+		out = append(out, in)
+		if after[i] {
+			out = append(out, mkAfter(in))
+		}
+	}
+	for i := range out {
+		if isBranchOp(out[i].Op) {
+			out[i].Imm = int64(branchTarget[out[i].Imm])
+		}
+	}
+	return out
+}
+
+// InjectedPCs returns the sorted target pcs present in a result's clones —
+// a debugging helper for tools.
+func InjectedPCs(prog *machine.Program, res InjectResult) []int {
+	set := map[int]bool{}
+	for _, ci := range res.Clones {
+		for _, in := range prog.Procs[ci].Body[machine.VersionChecking] {
+			if in.Op == machine.OpMatch {
+				set[int(in.Imm)] = true
+			}
+		}
+	}
+	pcs := make([]int, 0, len(set))
+	for pc := range set {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}

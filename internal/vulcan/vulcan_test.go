@@ -1,0 +1,377 @@
+package vulcan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hotprefetch/internal/machine"
+	"hotprefetch/internal/memsim"
+)
+
+func cacheCfg() memsim.Config {
+	return memsim.Config{
+		BlockSize: 32, L1Size: 256, L1Assoc: 2, L2Size: 512, L2Assoc: 2,
+		L2HitLatency: 10, MemLatency: 100,
+	}
+}
+
+// loopProgram builds a program with a counted loop over two loads, the shape
+// the instrumentation passes must handle: an entry, a loop head, and a
+// back-edge.
+func loopProgram(t testing.TB, iters int64) *machine.Program {
+	b := machine.NewBuilder()
+	b.Proc("main").
+		Const(1, iters).
+		Const(2, 0x100).
+		Label("head").
+		Load(3, 2, 0).
+		Load(4, 2, 8).
+		Arith(2).
+		Loop(1, "head").
+		Ret()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// alwaysRT drives execution into a fixed version and records events.
+type alwaysRT struct {
+	version machine.Version
+	checks  int
+	traced  int
+	matched []int
+}
+
+func (r *alwaysRT) Check(pc int) (machine.Version, uint64) {
+	r.checks++
+	return r.version, 0
+}
+func (r *alwaysRT) TraceRef(pc int, addr machine.Word, isWrite bool) uint64 {
+	r.traced++
+	return 0
+}
+func (r *alwaysRT) Match(pc int, addr machine.Word) ([]machine.Word, uint64) {
+	r.matched = append(r.matched, pc)
+	return nil, 0
+}
+
+func TestInstrumentInsertsEntryAndLoopChecks(t *testing.T) {
+	p := loopProgram(t, 5)
+	Instrument(p)
+	body := p.Procs[0].Body[machine.VersionChecking]
+	if body[0].Op != machine.OpCheck {
+		t.Error("first instruction must be the entry check")
+	}
+	checks := 0
+	for _, in := range body {
+		if in.Op == machine.OpCheck {
+			checks++
+		}
+	}
+	if checks != 2 {
+		t.Errorf("checks = %d, want 2 (entry + loop head)", checks)
+	}
+	// Both versions must stay index-aligned with identical opcodes.
+	instr := p.Procs[0].Body[machine.VersionInstrumented]
+	if len(instr) != len(body) {
+		t.Fatal("versions not index-aligned")
+	}
+	for i := range body {
+		if body[i].Op != instr[i].Op || body[i].PC != instr[i].PC {
+			t.Fatalf("version mismatch at %d: %v vs %v", i, body[i], instr[i])
+		}
+		if body[i].IsMemRef() && (body[i].Traced || !instr[i].Traced) {
+			t.Fatalf("Traced flags wrong at %d", i)
+		}
+	}
+}
+
+func TestInstrumentedSemanticsUnchanged(t *testing.T) {
+	plain := loopProgram(t, 10)
+	mPlain := machine.New(plain, 1<<12, cacheCfg())
+	if err := mPlain.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+
+	inst := loopProgram(t, 10)
+	Instrument(inst)
+	for _, v := range []machine.Version{machine.VersionChecking, machine.VersionInstrumented} {
+		m := machine.New(inst, 1<<12, cacheCfg())
+		m.RT = &alwaysRT{version: v}
+		if err := m.RunToCompletion(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Regs != mPlain.Regs {
+			t.Errorf("version %d changed program results", v)
+		}
+		if m.Stats.Refs != mPlain.Stats.Refs {
+			t.Errorf("version %d: refs = %d, want %d", v, m.Stats.Refs, mPlain.Stats.Refs)
+		}
+	}
+}
+
+func TestLoopBackEdgeExecutesCheck(t *testing.T) {
+	p := loopProgram(t, 7)
+	Instrument(p)
+	m := machine.New(p, 1<<12, cacheCfg())
+	rt := &alwaysRT{version: machine.VersionChecking}
+	m.RT = rt
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	// Entry check once + loop-head check once per iteration.
+	if rt.checks != 1+7 {
+		t.Errorf("checks = %d, want 8", rt.checks)
+	}
+}
+
+func TestTracingOnlyInInstrumentedVersion(t *testing.T) {
+	p := loopProgram(t, 4)
+	Instrument(p)
+	rtC := &alwaysRT{version: machine.VersionChecking}
+	m := machine.New(p, 1<<12, cacheCfg())
+	m.RT = rtC
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if rtC.traced != 0 {
+		t.Errorf("checking version traced %d refs", rtC.traced)
+	}
+	rtI := &alwaysRT{version: machine.VersionInstrumented}
+	m2 := machine.New(p, 1<<12, cacheCfg())
+	m2.RT = rtI
+	if err := m2.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if rtI.traced != 8 { // 2 loads x 4 iterations
+		t.Errorf("instrumented version traced %d refs, want 8", rtI.traced)
+	}
+}
+
+func TestInjectAndDeoptimize(t *testing.T) {
+	p := loopProgram(t, 6)
+	Instrument(p)
+
+	// Find the stable PCs of the two loads.
+	var loadPCs []int
+	for _, in := range p.Procs[0].Body[machine.VersionChecking] {
+		if in.Op == machine.OpLoad {
+			loadPCs = append(loadPCs, int(in.PC))
+		}
+	}
+	if len(loadPCs) != 2 {
+		t.Fatal("setup: expected 2 loads")
+	}
+
+	res := Inject(p, map[int]bool{loadPCs[0]: true})
+	if res.ProcsModified() != 1 || res.ChecksInserted != 1 {
+		t.Fatalf("result = %+v, want 1 proc modified, 1 check", res)
+	}
+	if p.Procs[0].Redirect != res.Clones[0] {
+		t.Error("original entry must jump to the clone")
+	}
+	if got := InjectedPCs(p, res); len(got) != 1 || got[0] != loadPCs[0] {
+		t.Errorf("InjectedPCs = %v, want [%d]", got, loadPCs[0])
+	}
+
+	// Execution runs the clone: OpMatch fires once per iteration for the
+	// first load only, and program semantics are unchanged.
+	rt := &alwaysRT{version: machine.VersionChecking}
+	m := machine.New(p, 1<<12, cacheCfg())
+	m.RT = rt
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.matched) != 6 {
+		t.Errorf("matches = %d, want 6 (one per iteration)", len(rt.matched))
+	}
+	for _, pc := range rt.matched {
+		if pc != loadPCs[0] {
+			t.Errorf("match pc = %d, want %d", pc, loadPCs[0])
+		}
+	}
+
+	// Deoptimize: no more matches, original runs again.
+	Deoptimize(p, res)
+	if p.Procs[0].Redirect != machine.NoRedirect {
+		t.Error("deoptimize must remove the entry jump")
+	}
+	rt2 := &alwaysRT{version: machine.VersionChecking}
+	m2 := machine.New(p, 1<<12, cacheCfg())
+	m2.RT = rt2
+	if err := m2.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt2.matched) != 0 {
+		t.Errorf("matches after deopt = %d, want 0", len(rt2.matched))
+	}
+}
+
+func TestInjectSkipsUntargetedProcs(t *testing.T) {
+	b := machine.NewBuilder()
+	b.Proc("main").
+		Const(1, 0x100).
+		Load(2, 1, 0).
+		Call("other").
+		Ret()
+	b.Proc("other").
+		Const(3, 0x200).
+		Load(4, 3, 0).
+		Ret()
+	p, err := b.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Instrument(p)
+	var mainLoadPC int
+	for _, in := range p.Procs[0].Body[0] {
+		if in.Op == machine.OpLoad {
+			mainLoadPC = int(in.PC)
+		}
+	}
+	res := Inject(p, map[int]bool{mainLoadPC: true})
+	if res.ProcsModified() != 1 {
+		t.Fatalf("procs modified = %d, want 1", res.ProcsModified())
+	}
+	if p.Procs[1].Redirect != machine.NoRedirect {
+		t.Error("untargeted procedure must not be patched")
+	}
+}
+
+func TestInjectIsRepeatableAcrossCycles(t *testing.T) {
+	p := loopProgram(t, 3)
+	Instrument(p)
+	var loadPC int
+	for _, in := range p.Procs[0].Body[0] {
+		if in.Op == machine.OpLoad {
+			loadPC = int(in.PC)
+			break
+		}
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		res := Inject(p, map[int]bool{loadPC: true})
+		if res.ProcsModified() != 1 {
+			t.Fatalf("cycle %d: procs modified = %d", cycle, res.ProcsModified())
+		}
+		Deoptimize(p, res)
+	}
+	// Three cycles leave three clones registered but none active.
+	clones := 0
+	for _, proc := range p.Procs {
+		if proc.CloneOf != machine.NoRedirect {
+			clones++
+		}
+		if proc.Redirect != machine.NoRedirect {
+			t.Error("no procedure should remain patched")
+		}
+	}
+	if clones != 3 {
+		t.Errorf("clones = %d, want 3", clones)
+	}
+}
+
+func TestInjectDoesNotDoublePatch(t *testing.T) {
+	p := loopProgram(t, 3)
+	Instrument(p)
+	var loadPC int
+	for _, in := range p.Procs[0].Body[0] {
+		if in.Op == machine.OpLoad {
+			loadPC = int(in.PC)
+			break
+		}
+	}
+	res1 := Inject(p, map[int]bool{loadPC: true})
+	res2 := Inject(p, map[int]bool{loadPC: true}) // without deopt in between
+	if res2.ProcsModified() != 0 {
+		t.Error("a patched procedure must not be patched again")
+	}
+	Deoptimize(p, res1)
+}
+
+// Property: for random loop programs, instrumenting and injecting preserves
+// execution semantics (registers and data reference counts) in both
+// versions.
+func TestPropertySemanticPreservation(t *testing.T) {
+	f := func(iters8 uint8, off8 uint8) bool {
+		iters := int64(iters8%20) + 1
+		off := int64(off8%8) * 8
+
+		build := func() *machine.Program {
+			b := machine.NewBuilder()
+			b.Proc("main").
+				Const(1, iters).
+				Const(2, 0x100).
+				Label("head").
+				Load(3, 2, off).
+				Store(2, off+8, 3).
+				AddImm(2, 2, 16).
+				Loop(1, "head").
+				Call("leaf").
+				Ret()
+			b.Proc("leaf").
+				Const(5, 0x40).
+				Load(6, 5, 0).
+				Ret()
+			p, err := b.Build("main")
+			if err != nil {
+				return nil
+			}
+			return p
+		}
+
+		plain := build()
+		if plain == nil {
+			return false
+		}
+		mp := machine.New(plain, 1<<12, cacheCfg())
+		if err := mp.RunToCompletion(); err != nil {
+			return false
+		}
+
+		opt := build()
+		Instrument(opt)
+		pcs := map[int]bool{}
+		for _, proc := range opt.Procs {
+			for _, in := range proc.Body[0] {
+				if in.IsMemRef() {
+					pcs[int(in.PC)] = true
+				}
+			}
+		}
+		Inject(opt, pcs)
+		for _, v := range []machine.Version{machine.VersionChecking, machine.VersionInstrumented} {
+			m := machine.New(opt, 1<<12, cacheCfg())
+			m.RT = &alwaysRT{version: v}
+			if err := m.RunToCompletion(); err != nil {
+				return false
+			}
+			if m.Regs != mp.Regs || m.Stats.Refs != mp.Stats.Refs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInject(b *testing.B) {
+	p := loopProgram(b, 3)
+	Instrument(p)
+	pcs := map[int]bool{}
+	for _, in := range p.Procs[0].Body[0] {
+		if in.IsMemRef() {
+			pcs[int(in.PC)] = true
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Inject(p, pcs)
+		Deoptimize(p, res)
+		// Trim accumulated clones so the benchmark stays bounded.
+		p.Procs = p.Procs[:1]
+	}
+}

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"fmt"
+
+	"hotprefetch/internal/heap"
+	"hotprefetch/internal/machine"
+	"hotprefetch/internal/vulcan"
+)
+
+// Extended workloads: two additional pointer-chasing program families with
+// access shapes different from the catalog's schedule-ring walkers, in the
+// style of the Olden suite the prefetching literature evaluates on. They
+// are not part of the paper's Table 2 suite; they exercise the system on
+// hierarchical and gather-style traversals and back the extended
+// integration tests.
+
+// HealthParams sizes the hierarchical workload: a three-level hierarchy
+// (hospital -> wards -> patient lists), fully re-traversed every lap.
+type HealthParams struct {
+	Seed     int64
+	Wards    int // second-level nodes
+	Patients int // list length per ward
+	Laps     int
+	Arith    int64
+}
+
+// DefaultHealth returns a miss-heavy configuration.
+func DefaultHealth() HealthParams {
+	return HealthParams{Seed: 17, Wards: 24, Patients: 18, Laps: 2500, Arith: 2}
+}
+
+// BuildHealth generates the hierarchical workload. Every lap walks:
+// hospital header -> ward (via the ward table) -> ward header -> patient
+// chain. Each ward's walk is one hot data stream.
+func BuildHealth(p HealthParams) *Instance {
+	const wardWords = 4 // {patientsHead, pad...}
+	need := arenaStart + 65536 +
+		uint64(p.Wards)*(8 /*table*/ +wardWords*8) +
+		uint64(p.Wards*p.Patients)*nodeWords*8
+	words := int(need / 8)
+	img := make([]uint64, words)
+	arena := heap.NewArena(img, arenaStart)
+
+	// Patient nodes globally interleaved so layout is scattered.
+	addrs := make([][]uint64, p.Wards)
+	perm := heap.ShuffledPerm(p.Wards*p.Patients, p.Seed)
+	slots := make([]uint64, p.Wards*p.Patients)
+	for i := range slots {
+		slots[i] = arena.AllocWords(nodeWords)
+	}
+	for i, pi := range perm {
+		w := i / p.Patients
+		if addrs[w] == nil {
+			addrs[w] = make([]uint64, 0, p.Patients)
+		}
+		addrs[w] = append(addrs[w], slots[pi])
+	}
+	wardHeaders := make([]uint64, p.Wards)
+	for w := 0; w < p.Wards; w++ {
+		for i := 0; i < p.Patients; i++ {
+			next := uint64(0)
+			if i+1 < p.Patients {
+				next = addrs[w][i+1]
+			}
+			arena.Write(addrs[w][i], next)
+		}
+		wardHeaders[w] = arena.AllocWords(wardWords)
+		arena.Write(wardHeaders[w], addrs[w][0]) // ward.patients
+	}
+	wardTable := arena.Table(wardHeaders)
+	const hospitalSlot = 16
+	arena.Write(hospitalSlot, wardTable)
+
+	build := func(instrument bool) *machine.Program {
+		b := machine.NewBuilder()
+		b.Proc("main").
+			Const(1, int64(p.Laps)).
+			Label("lap").
+			Call("visit_hospital").
+			Loop(1, "lap").
+			Ret()
+		vb := b.Proc("visit_hospital")
+		vb.Const(2, hospitalSlot).
+			Load(3, 2, 0). // ward table base
+			Const(4, int64(p.Wards)).
+			Label("ward").
+			Load(5, 3, 0). // ward header pointer (table entry)
+			Load(6, 5, 0)  // ward.patients
+		for i := 0; i < p.Patients; i++ {
+			vb.Load(6, 6, 0) // patient chain
+			if p.Arith > 0 {
+				vb.Arith(p.Arith)
+			}
+		}
+		vb.AddImm(3, 3, 8). // next table entry
+					Loop(4, "ward").
+					Ret()
+		prog, err := b.Build("main")
+		if err != nil {
+			panic("workload: health: " + err.Error())
+		}
+		if instrument {
+			vulcan.Instrument(prog)
+		}
+		return prog
+	}
+	return &Instance{
+		Params: Params{Name: "health", Seed: p.Seed},
+		image:  img, words: words, build: build,
+	}
+}
+
+// Em3dParams sizes the bipartite gather workload: eNodes each hold Degree
+// pointers into the hNodes set; every iteration gathers each E node's
+// dependencies.
+type Em3dParams struct {
+	Seed   int64
+	ENodes int
+	HNodes int
+	Degree int
+	Iters  int
+	Arith  int64
+}
+
+// DefaultEm3d returns a miss-heavy configuration.
+func DefaultEm3d() Em3dParams {
+	return Em3dParams{Seed: 23, ENodes: 40, HNodes: 2600, Degree: 14, Iters: 2200, Arith: 2}
+}
+
+// BuildEm3d generates the bipartite workload. E nodes are chained; each E
+// node embeds Degree pointers to pseudo-randomly chosen H nodes. An E
+// node's gather — its header plus its H dependencies in order — is one hot
+// data stream.
+func BuildEm3d(p Em3dParams) *Instance {
+	eWords := 1 + p.Degree // {next, deps...}
+	need := arenaStart + 65536 +
+		uint64(p.ENodes)*uint64(eWords)*8 +
+		uint64(p.HNodes)*nodeWords*8
+	words := int(need / 8)
+	img := make([]uint64, words)
+	arena := heap.NewArena(img, arenaStart)
+
+	hAddrs := make([]uint64, p.HNodes)
+	for i := range hAddrs {
+		hAddrs[i] = arena.AllocWords(nodeWords)
+		arena.Write(hAddrs[i], uint64(i))
+	}
+	hPerm := heap.ShuffledPerm(p.HNodes, p.Seed+1)
+
+	eAddrs := make([]uint64, p.ENodes)
+	for i := range eAddrs {
+		eAddrs[i] = arena.AllocWords(eWords)
+	}
+	pick := 0
+	for i, e := range eAddrs {
+		next := uint64(0)
+		if i+1 < p.ENodes {
+			next = eAddrs[i+1]
+		}
+		arena.Write(e, next)
+		for d := 0; d < p.Degree; d++ {
+			arena.Write(e+uint64(1+d)*8, hAddrs[hPerm[pick%len(hPerm)]])
+			pick++
+		}
+	}
+	const headSlot = 16
+	arena.Write(headSlot, eAddrs[0])
+
+	build := func(instrument bool) *machine.Program {
+		b := machine.NewBuilder()
+		b.Proc("main").
+			Const(1, int64(p.Iters)).
+			Label("iter").
+			Call("compute").
+			Loop(1, "iter").
+			Ret()
+		cb := b.Proc("compute")
+		cb.Const(2, headSlot).
+			Load(3, 2, 0). // first E node
+			Label("enode")
+		for d := 0; d < p.Degree; d++ {
+			cb.Load(4, 3, int64(1+d)*8) // dep pointer
+			cb.Load(5, 4, 0)            // H node value
+			if p.Arith > 0 {
+				cb.Arith(p.Arith)
+			}
+		}
+		cb.Load(3, 3, 0). // next E node
+					Bnez(3, "enode").
+					Ret()
+		prog, err := b.Build("main")
+		if err != nil {
+			panic("workload: em3d: " + err.Error())
+		}
+		if instrument {
+			vulcan.Instrument(prog)
+		}
+		return prog
+	}
+	return &Instance{
+		Params: Params{Name: "em3d", Seed: p.Seed},
+		image:  img, words: words, build: build,
+	}
+}
+
+// ExtendedNames lists the extended workload family names.
+func ExtendedNames() []string { return []string{"health", "em3d"} }
+
+// BuildExtended builds an extended workload by name.
+func BuildExtended(name string) (*Instance, error) {
+	switch name {
+	case "health":
+		return BuildHealth(DefaultHealth()), nil
+	case "em3d":
+		return BuildEm3d(DefaultEm3d()), nil
+	}
+	return nil, fmt.Errorf("workload: unknown extended workload %q", name)
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+
+	"hotprefetch/internal/burst"
+	"hotprefetch/internal/hotds"
+	"hotprefetch/internal/opt"
+)
+
+func extendedOptConfig() opt.Config {
+	return opt.Config{
+		Mode: opt.ModeDynPref,
+		Burst: burst.Config{
+			NCheck0: 380, NInstr0: 20, NAwake0: 25, NHibernate0: 100, CheckCost: 25,
+		},
+		Analysis: hotds.Config{
+			// MaxLen stays near the L1 capacity in blocks (64): the
+			// traversals fuse into long sequences, and prefetching a tail
+			// much larger than L1 evicts its own fills.
+			MinLen: 10, MaxLen: 60, MinUnique: 10, MinCoverage: 0.01, MaxStreams: 100,
+		},
+		HeadLen: 2,
+		Costs:   opt.DefaultCostModel(),
+	}
+}
+
+func TestBuildExtendedNames(t *testing.T) {
+	for _, name := range ExtendedNames() {
+		inst, err := BuildExtended(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Params.Name != name {
+			t.Errorf("instance name = %q, want %q", inst.Params.Name, name)
+		}
+	}
+	if _, err := BuildExtended("nope"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestHealthRunsAndMisses(t *testing.T) {
+	p := DefaultHealth()
+	p.Laps = 60
+	inst := BuildHealth(p)
+	m := inst.NewMachine(CacheConfig(), false)
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	// Per lap: one hospital-slot load plus, per ward, a table entry, the
+	// ward header, and the patient chain.
+	wantRefs := uint64(p.Laps) * (1 + uint64(p.Wards)*uint64(p.Patients+2))
+	if m.Stats.Refs != wantRefs {
+		t.Errorf("refs = %d, want %d", m.Stats.Refs, wantRefs)
+	}
+	if m.Cache.Stats().MissRatio() < 0.3 {
+		t.Errorf("health should be miss-heavy, ratio %.2f", m.Cache.Stats().MissRatio())
+	}
+}
+
+func TestEm3dRunsAndMisses(t *testing.T) {
+	p := DefaultEm3d()
+	p.Iters = 60
+	inst := BuildEm3d(p)
+	m := inst.NewMachine(CacheConfig(), false)
+	if err := m.RunToCompletion(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Refs == 0 || m.Cache.Stats().MissRatio() < 0.3 {
+		t.Errorf("em3d should be a miss-heavy gather: refs=%d ratio=%.2f",
+			m.Stats.Refs, m.Cache.Stats().MissRatio())
+	}
+}
+
+// TestExtendedWorkloadsWin runs both extended families through the full
+// dynamic prefetching pipeline: the system must detect their streams and
+// produce a net win on access shapes it was not calibrated for.
+func TestExtendedWorkloadsWin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full optimizer runs")
+	}
+	for _, name := range ExtendedNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst, err := BuildExtended(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := opt.RunBaseline(inst.NewMachine(CacheConfig(), false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.Run(inst.NewMachine(CacheConfig(), true), extendedOptConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pct := 100 * (float64(res.ExecCycles)/float64(base) - 1)
+			avg := res.AvgPerCycle()
+			t.Logf("%s: %+.1f%% cycles=%d streams=%d procs=%d useful=%d",
+				name, pct, res.OptCycles(), avg.HotStreams, avg.ProcsModified,
+				res.Cache.UsefulPrefetches)
+			if res.OptCycles() == 0 || avg.HotStreams == 0 {
+				t.Fatalf("optimizer idle on %s", name)
+			}
+			if res.ExecCycles >= base {
+				t.Errorf("%s: no win (%d vs %d)", name, res.ExecCycles, base)
+			}
+		})
+	}
+}

@@ -1,0 +1,47 @@
+package hotprefetch
+
+import "sync"
+
+// SafeProfile is a Profile safe for concurrent use: multiple goroutines may
+// Add references while others snapshot hot streams. The underlying online
+// algorithms are inherently sequential (the paper's system profiles a
+// single-threaded program), so SafeProfile serializes access with a mutex;
+// for single-goroutine use, Profile avoids the locking cost.
+type SafeProfile struct {
+	mu sync.Mutex
+	p  *Profile
+}
+
+// NewSafeProfile returns an empty concurrent-safe profile.
+func NewSafeProfile() *SafeProfile {
+	return &SafeProfile{p: NewProfile()}
+}
+
+// Add appends one data reference to the profile.
+func (s *SafeProfile) Add(r Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.Add(r)
+}
+
+// AddAll appends each reference in order, atomically with respect to other
+// calls.
+func (s *SafeProfile) AddAll(refs []Ref) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.AddAll(refs)
+}
+
+// Len returns the number of references added so far.
+func (s *SafeProfile) Len() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Len()
+}
+
+// HotStreams extracts the profile's hot data streams; see Profile.HotStreams.
+func (s *SafeProfile) HotStreams(cfg AnalysisConfig) []Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.HotStreams(cfg)
+}

@@ -1,0 +1,40 @@
+package hotprefetch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSafeProfileConcurrentAdds(t *testing.T) {
+	sp := NewSafeProfile()
+	stream := mkStream(50, 12)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				sp.AddAll(stream)
+			}
+		}()
+	}
+	// Concurrent snapshots must not race with the adds.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = sp.HotStreams(AnalysisConfig{MinLen: 10, MaxLen: 60, MinCoverage: 0.01})
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got, want := sp.Len(), uint64(8*25*len(stream)); got != want {
+		t.Errorf("Len = %d, want %d", got, want)
+	}
+	streams := sp.HotStreams(AnalysisConfig{MinLen: 10, MaxLen: 60, MinCoverage: 0.01})
+	if len(streams) == 0 {
+		t.Error("the repeated stream should be detected")
+	}
+}
