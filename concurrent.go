@@ -1,0 +1,53 @@
+package hotprefetch
+
+import "sync"
+
+// ConcurrentMatcher is a Matcher safe for use by multiple goroutines. The
+// DFSM transition tables are immutable after construction, so the mutex only
+// guards the single current-state word and the comparison accounting; the
+// common case is a short critical section around an array-indexed Step.
+//
+// All callers share one match state — observations interleave into a single
+// logical reference stream, exactly as if one goroutine called Observe with
+// the merged order. To match per-thread streams independently, give each
+// thread its own Matcher instead.
+type ConcurrentMatcher struct {
+	mu sync.Mutex
+	m  *Matcher
+}
+
+// NewConcurrentMatcher builds the prefix-matching DFSM for streams (see
+// NewMatcher) and wraps it for concurrent use.
+func NewConcurrentMatcher(streams []Stream, headLen int) (*ConcurrentMatcher, error) {
+	m, err := NewMatcher(streams, headLen)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentMatcher{m: m}, nil
+}
+
+// Observe consumes one data reference; see Matcher.Observe. The returned
+// prefetch slice aliases the matcher's state tables and must not be
+// mutated.
+func (c *ConcurrentMatcher) Observe(r Ref) (prefetch []uint64, comparisons int) {
+	c.mu.Lock()
+	prefetch, comparisons = c.m.Observe(r)
+	c.mu.Unlock()
+	return prefetch, comparisons
+}
+
+// Reset returns the matcher to its start state (nothing matched).
+func (c *ConcurrentMatcher) Reset() {
+	c.mu.Lock()
+	c.m.Reset()
+	c.mu.Unlock()
+}
+
+// NumStates returns the number of DFSM states, including the start state.
+func (c *ConcurrentMatcher) NumStates() int { return c.m.NumStates() }
+
+// NumTransitions returns the number of explicit DFSM transitions.
+func (c *ConcurrentMatcher) NumTransitions() int { return c.m.NumTransitions() }
+
+// PCs returns the sorted instruction addresses needing detection code.
+func (c *ConcurrentMatcher) PCs() []int { return c.m.PCs() }

@@ -15,9 +15,18 @@
 // annotated with the prefetch addresses of v's tail. The DFSM is built with
 // the lazy work-list algorithm of Figure 9; the number of reachable states
 // is usually close to headLen*n+1 rather than the exponential worst case.
+//
+// Because Step models code injected on the program's own loads (§3.2 charges
+// every executed comparison), the built machine is compiled into flat
+// per-pc transition tables — sorted address arms over state-indexed entry
+// runs — so that driving it is array indexing with no map lookups and no
+// allocations unless a prefetch fires. The comparison counts Step reports
+// are those of the paper's Figure 7 generated code and are unchanged by the
+// compilation.
 package dfsm
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -70,13 +79,15 @@ type State struct {
 	Prefetches []uint64
 }
 
-// key returns the canonical identity of an element set.
-func key(elems []Element) string {
-	var b strings.Builder
+// appendKey appends the canonical identity of an element set: 8 bytes per
+// element, fixed-width little-endian (stream, seen) pairs. Integer encoding
+// keeps state interning free of fmt formatting garbage during Build.
+func appendKey(dst []byte, elems []Element) []byte {
 	for _, e := range elems {
-		fmt.Fprintf(&b, "%d.%d;", e.Stream, e.Seen)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Stream))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Seen))
 	}
-	return b.String()
+	return dst
 }
 
 // transKey identifies a transition source: a state and an observed data
@@ -93,25 +104,38 @@ type DFSM struct {
 	HeadLen int
 	States  []*State
 
+	// trans is the explicit transition relation; Next and WriteDOT read it.
+	// The matching hot path never touches it: Step runs on the compiled
+	// tables below.
 	trans map[transKey]*State
-	// perPC holds, for every instrumented pc, the comparison structure the
-	// injected code executes (paper Figure 7): an outer if-chain over
-	// addresses, each with an inner if-chain over source states and a
-	// restart default (the "else" arms). The Matcher counts scanned
-	// comparisons to model detection cost.
-	perPC map[int][]addrGroup
+
+	// Compiled detection tables, the flat layout of the comparison
+	// structure the injected code executes per instrumented pc (paper
+	// Figure 7): an outer if-chain over addresses (arms), each with an
+	// inner if-chain over source states (entries) and a restart default.
+	//
+	// pcDense maps pc-pcMin straight to the pc's [start,end) arm range
+	// when the instrumented pc range is dense enough ({0,0} = not
+	// instrumented); otherwise pcKeys holds the sorted instrumented pcs,
+	// Step binary-searches, and pcSpan[slot] holds the range.
+	pcMin   int
+	pcDense [][2]int32
+	pcKeys  []int
+	pcSpan  [][2]int32
+	arms    []addrArm
+	chains  []stateEntry
 }
 
-// addrGroup is one arm of the outer "if (accessing a.addr)" chain.
-type addrGroup struct {
-	addr    uint64
-	entries []stateEntry // inner "if (state == s)" chain, extensions only
-	restart *State       // d(start, a): taken when no state compare matches
+// addrArm is one arm of the outer "if (accessing addr)" chain, its inner
+// state compares stored as chains[eStart:eEnd].
+type addrArm struct {
+	addr         uint64
+	restart      int32 // d(start, addr) state ID, or -1 (arm's else branch)
+	eStart, eEnd int32
 }
 
 type stateEntry struct {
-	fromState int
-	to        *State
+	from, to int32
 }
 
 // Build constructs the DFSM for the given streams with the lazy work-list
@@ -131,18 +155,18 @@ func Build(streams []Stream, headLen int) *DFSM {
 		Streams: usable,
 		HeadLen: headLen,
 		trans:   make(map[transKey]*State),
-		perPC:   make(map[int][]addrGroup),
 	}
 
 	states := map[string]*State{}
 	start := &State{ID: 0}
-	states[key(nil)] = start
+	states[""] = start
 	d.States = append(d.States, start)
 	workList := []*State{start}
 
+	var keyBuf []byte
 	intern := func(elems []Element) (*State, bool) {
-		k := key(elems)
-		if s, ok := states[k]; ok {
+		keyBuf = appendKey(keyBuf[:0], elems)
+		if s, ok := states[string(keyBuf)]; ok {
 			return s, false
 		}
 		s := &State{ID: len(d.States), Elements: elems}
@@ -151,7 +175,7 @@ func Build(streams []Stream, headLen int) *DFSM {
 				s.Prefetches = append(s.Prefetches, d.Streams[e.Stream].Tail...)
 			}
 		}
-		states[k] = s
+		states[string(keyBuf)] = s
 		d.States = append(d.States, s)
 		return s, true
 	}
@@ -207,7 +231,7 @@ func Build(streams []Stream, headLen int) *DFSM {
 		}
 	}
 
-	d.buildChains()
+	d.compile()
 	return d
 }
 
@@ -229,17 +253,17 @@ func sortElements(elems []Element) {
 	})
 }
 
-// buildChains lays out the per-pc comparison structure of the injected
-// detection code. Hotter streams' addresses come first, modelling the
+// compile lays out the per-pc comparison structure of the injected detection
+// code as flat arrays. Hotter streams' addresses come first, modelling the
 // paper's "sort the if-branches in such a way that more likely cases come
 // first". Within an address arm, only extension transitions need explicit
 // state compares; the restart transition d(start, a) is the arm's default.
-func (d *DFSM) buildChains() {
+func (d *DFSM) compile() {
 	type groupBuild struct {
 		addr    uint64
 		heat    uint64
 		entries []stateEntry
-		restart *State
+		restart int32
 	}
 	byPC := map[int]map[ref.Ref]*groupBuild{}
 	for tk, to := range d.trans {
@@ -250,7 +274,7 @@ func (d *DFSM) buildChains() {
 		}
 		g := groups[tk.r]
 		if g == nil {
-			g = &groupBuild{addr: tk.r.Addr}
+			g = &groupBuild{addr: tk.r.Addr, restart: -1}
 			groups[tk.r] = g
 		}
 		for _, e := range to.Elements {
@@ -259,16 +283,26 @@ func (d *DFSM) buildChains() {
 			}
 		}
 		if tk.state == 0 {
-			g.restart = to // d(start, a), the arm's else branch
+			g.restart = int32(to.ID) // d(start, a), the arm's else branch
 		} else {
-			g.entries = append(g.entries, stateEntry{fromState: tk.state, to: to})
+			g.entries = append(g.entries, stateEntry{from: int32(tk.state), to: int32(to.ID)})
 		}
 	}
-	for pc, groups := range byPC {
+
+	pcs := make([]int, 0, len(byPC))
+	for pc := range byPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+
+	d.pcKeys = pcs
+	d.pcSpan = make([][2]int32, len(pcs))
+	for slot, pc := range pcs {
+		groups := byPC[pc]
 		list := make([]*groupBuild, 0, len(groups))
 		for _, g := range groups {
 			sort.Slice(g.entries, func(i, j int) bool {
-				return g.entries[i].fromState < g.entries[j].fromState
+				return g.entries[i].from < g.entries[j].from
 			})
 			list = append(list, g)
 		}
@@ -278,12 +312,64 @@ func (d *DFSM) buildChains() {
 			}
 			return list[i].addr < list[j].addr
 		})
-		arms := make([]addrGroup, len(list))
-		for i, g := range list {
-			arms[i] = addrGroup{addr: g.addr, entries: g.entries, restart: g.restart}
+		armStart := int32(len(d.arms))
+		for _, g := range list {
+			eStart := int32(len(d.chains))
+			d.chains = append(d.chains, g.entries...)
+			d.arms = append(d.arms, addrArm{
+				addr:    g.addr,
+				restart: g.restart,
+				eStart:  eStart,
+				eEnd:    int32(len(d.chains)),
+			})
 		}
-		d.perPC[pc] = arms
+		d.pcSpan[slot] = [2]int32{armStart, int32(len(d.arms))}
 	}
+
+	// Dense pc index when the instrumented pcs span a reasonable range
+	// (pcs are instruction indices, so this is the overwhelmingly common
+	// case); otherwise Step binary-searches pcKeys. A pc's arm range is
+	// never empty, so the zero span marks un-instrumented pcs.
+	if len(pcs) > 0 {
+		span := pcs[len(pcs)-1] - pcs[0] + 1
+		if span <= 1<<16 || span <= 64*len(pcs) {
+			d.pcMin = pcs[0]
+			d.pcDense = make([][2]int32, span)
+			for slot, pc := range pcs {
+				d.pcDense[pc-d.pcMin] = d.pcSpan[slot]
+			}
+		}
+	}
+}
+
+// spanOf returns pc's [start,end) arm range, zero if pc is not instrumented.
+// The dense fast path is small enough to inline into Step.
+func (d *DFSM) spanOf(pc int) [2]int32 {
+	if d.pcDense != nil {
+		if i := pc - d.pcMin; uint(i) < uint(len(d.pcDense)) {
+			return d.pcDense[i]
+		}
+		return [2]int32{}
+	}
+	return d.spanSearch(pc)
+}
+
+// spanSearch is the sparse-pc fallback.
+func (d *DFSM) spanSearch(pc int) [2]int32 {
+	// Binary search over the sorted instrumented pcs.
+	lo, hi := 0, len(d.pcKeys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.pcKeys[mid] < pc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.pcKeys) && d.pcKeys[lo] == pc {
+		return d.pcSpan[lo]
+	}
+	return [2]int32{}
 }
 
 // NumStates returns the number of reachable states, including the start
@@ -346,22 +432,35 @@ func (d *DFSM) String() string {
 
 // Matcher drives a DFSM over a stream of observed data references at the
 // injected check sites. It is the runtime counterpart of the generated code
-// in paper Figure 7.
+// in paper Figure 7. The compiled tables are cached in the matcher itself so
+// Step touches one object, not the DFSM behind it.
 type Matcher struct {
-	d   *DFSM
-	cur *State
+	d       *DFSM
+	cur     int32 // current state ID
+	pcMin   int
+	pcDense [][2]int32
+	arms    []addrArm
+	chains  []stateEntry
+	states  []*State
 }
 
 // NewMatcher returns a matcher positioned at the start state.
 func NewMatcher(d *DFSM) *Matcher {
-	return &Matcher{d: d, cur: d.States[0]}
+	return &Matcher{
+		d:       d,
+		pcMin:   d.pcMin,
+		pcDense: d.pcDense,
+		arms:    d.arms,
+		chains:  d.chains,
+		states:  d.States,
+	}
 }
 
 // State returns the current state.
-func (m *Matcher) State() *State { return m.cur }
+func (m *Matcher) State() *State { return m.d.States[m.cur] }
 
 // Reset returns the matcher to the start state.
-func (m *Matcher) Reset() { m.cur = m.d.States[0] }
+func (m *Matcher) Reset() { m.cur = 0 }
 
 // Step consumes one data reference observed at an instrumented pc. It
 // returns the addresses to prefetch (non-nil exactly when a stream head
@@ -371,38 +470,58 @@ func (m *Matcher) Reset() { m.cur = m.d.States[0] }
 // The comparison count follows the structure of the generated code in paper
 // Figure 7: an outer if-chain over the addresses checked at this pc, then an
 // inner if-chain over source states, with the restart transition as the
-// arm's else branch.
+// arm's else branch. Step performs no allocations and no map lookups; the
+// returned prefetch slice aliases the machine's state table.
 func (m *Matcher) Step(r ref.Ref) (prefetch []uint64, comparisons int) {
-	arms := m.d.perPC[r.PC]
+	var span [2]int32
+	if m.pcDense != nil {
+		if i := r.PC - m.pcMin; uint(i) < uint(len(m.pcDense)) {
+			span = m.pcDense[i]
+		}
+	} else {
+		span = m.d.spanSearch(r.PC)
+	}
+	if span[0] == span[1] {
+		// Un-instrumented pc: no arms; the single failed address comparison.
+		m.cur = 0
+		return nil, 1
+	}
+	return m.stepArms(r.Addr, span)
+}
+
+// stepArms walks the address arms of one instrumented pc (the out-of-line
+// part of Step, keeping Step itself inlinable for the frequent
+// un-instrumented case).
+func (m *Matcher) stepArms(addr uint64, span [2]int32) (prefetch []uint64, comparisons int) {
 	prev := m.cur
-	for i := range arms {
+	for ai := span[0]; ai < span[1]; ai++ {
+		arm := &m.arms[ai]
 		comparisons++ // address compare
-		if arms[i].addr != r.Addr {
+		if arm.addr != addr {
 			continue
 		}
-		next := arms[i].restart // else branch: d(start, a), possibly nil
-		for _, e := range arms[i].entries {
+		next := arm.restart // else branch: d(start, a), possibly -1
+		for ei := arm.eStart; ei < arm.eEnd; ei++ {
 			comparisons++ // state compare
-			if e.fromState == m.cur.ID {
-				next = e.to
+			if m.chains[ei].from == m.cur {
+				next = m.chains[ei].to
 				break
 			}
 		}
-		if next == nil {
-			next = m.d.States[0]
+		if next < 0 {
+			next = 0
 		}
 		m.cur = next
-		if prev != m.cur && len(m.cur.Prefetches) > 0 {
-			return m.cur.Prefetches, comparisons
+		if prev != m.cur {
+			if p := m.states[m.cur].Prefetches; len(p) > 0 {
+				return p, comparisons
+			}
 		}
 		return nil, comparisons
 	}
 	// Address matched no arm: d(s,a) = {}, reset to start (the final
 	// "else v.seen = 0" of Figure 7).
-	m.cur = m.d.States[0]
-	if comparisons == 0 {
-		comparisons = 1 // the failed address comparison itself
-	}
+	m.cur = 0
 	return nil, comparisons
 }
 

@@ -31,34 +31,94 @@ type Symbol uint32
 
 // Interner assigns dense Symbol identifiers to references and maps them back.
 // The zero value is ready to use.
+//
+// Interning sits on the profiling hot path — one lookup per sampled data
+// reference — so instead of a Go map with a composite struct key, the
+// interner probes a flat open-addressed table (linear probing, power-of-two
+// capacity). Entries store sym+1 so the zero value marks an empty slot;
+// nothing is ever deleted, so no tombstone handling is needed.
 type Interner struct {
-	ids  map[Ref]Symbol
-	refs []Ref
+	entries []internEntry
+	refs    []Ref
+}
+
+type internEntry struct {
+	r    Ref
+	sym1 uint32 // Symbol+1; 0 = empty slot
+}
+
+// hashRef mixes a reference's pc and address (splitmix64-style finalizer).
+func hashRef(r Ref) uint64 {
+	h := uint64(r.PC)*0x9E3779B97F4A7C15 + r.Addr
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return h
 }
 
 // NewInterner returns an empty interner.
 func NewInterner() *Interner {
-	return &Interner{ids: make(map[Ref]Symbol)}
+	return &Interner{}
 }
 
 // Intern returns the symbol for r, allocating a new one on first sight.
 func (in *Interner) Intern(r Ref) Symbol {
-	if in.ids == nil {
-		in.ids = make(map[Ref]Symbol)
+	if 4*(len(in.refs)+1) >= 3*len(in.entries) { // grow at 75% load
+		in.grow()
 	}
-	if s, ok := in.ids[r]; ok {
-		return s
+	mask := uint64(len(in.entries) - 1)
+	for i := hashRef(r) & mask; ; i = (i + 1) & mask {
+		e := &in.entries[i]
+		if e.sym1 == 0 {
+			s := Symbol(len(in.refs))
+			*e = internEntry{r: r, sym1: uint32(s) + 1}
+			in.refs = append(in.refs, r)
+			return s
+		}
+		if e.r == r {
+			return Symbol(e.sym1 - 1)
+		}
 	}
-	s := Symbol(len(in.refs))
-	in.ids[r] = s
-	in.refs = append(in.refs, r)
-	return s
 }
 
 // Lookup returns the symbol for r and whether it has been interned.
 func (in *Interner) Lookup(r Ref) (Symbol, bool) {
-	s, ok := in.ids[r]
-	return s, ok
+	if len(in.entries) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(in.entries) - 1)
+	for i := hashRef(r) & mask; ; i = (i + 1) & mask {
+		e := &in.entries[i]
+		if e.sym1 == 0 {
+			return 0, false
+		}
+		if e.r == r {
+			return Symbol(e.sym1 - 1), true
+		}
+	}
+}
+
+func (in *Interner) grow() {
+	newCap := 64
+	if len(in.entries) > 0 {
+		newCap = 2 * len(in.entries)
+	}
+	old := in.entries
+	in.entries = make([]internEntry, newCap)
+	mask := uint64(newCap - 1)
+	for _, e := range old {
+		if e.sym1 == 0 {
+			continue
+		}
+		for i := hashRef(e.r) & mask; ; i = (i + 1) & mask {
+			if in.entries[i].sym1 == 0 {
+				in.entries[i] = e
+				break
+			}
+		}
+	}
 }
 
 // Ref returns the reference for a previously interned symbol.
@@ -72,7 +132,7 @@ func (in *Interner) Len() int { return len(in.refs) }
 
 // Reset discards all interned references, recycling the storage.
 func (in *Interner) Reset() {
-	clear(in.ids)
+	clear(in.entries)
 	in.refs = in.refs[:0]
 }
 

@@ -1,0 +1,113 @@
+// Package ring provides a bounded single-producer single-consumer queue.
+//
+// ShardedProfile feeds each profile shard through one of these rings: the
+// producing goroutine owns the tail, the consuming goroutine owns the head,
+// and each side re-reads the other's index only when its cached copy says
+// the ring looks full (producer) or empty (consumer). Under Go's memory
+// model the atomic head/tail loads and stores order the slot accesses, so
+// the queue is race-detector clean without locks.
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// pad keeps the producer- and consumer-owned fields on separate cache lines
+// so the two sides do not false-share.
+type pad [64]byte
+
+// SPSC is a bounded lock-free queue for exactly one producer goroutine and
+// one consumer goroutine. The zero value is not usable; call New.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_         pad
+	head      atomic.Uint64 // next slot to read; owned by the consumer
+	tailCache uint64        // consumer's last view of tail
+	_         pad
+	tail      atomic.Uint64 // next slot to write; owned by the producer
+	headCache uint64        // producer's last view of head
+	_         pad
+}
+
+// New returns an empty ring holding at least capacity elements (rounded up
+// to a power of two, minimum 2).
+func New[T any](capacity int) *SPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued elements (approximate under concurrency).
+func (q *SPSC[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// TryPush enqueues v, reporting false if the ring is full. Producer side
+// only.
+func (q *SPSC[T]) TryPush(v T) bool {
+	t := q.tail.Load()
+	if t-q.headCache == uint64(len(q.buf)) {
+		q.headCache = q.head.Load()
+		if t-q.headCache == uint64(len(q.buf)) {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Push enqueues v, spinning (with scheduler yields) while the ring is full.
+// Producer side only.
+func (q *SPSC[T]) Push(v T) {
+	for !q.TryPush(v) {
+		runtime.Gosched()
+	}
+}
+
+// TryPop dequeues one element, reporting false if the ring is empty.
+// Consumer side only.
+func (q *SPSC[T]) TryPop() (T, bool) {
+	h := q.head.Load()
+	if h == q.tailCache {
+		q.tailCache = q.tail.Load()
+		if h == q.tailCache {
+			var zero T
+			return zero, false
+		}
+	}
+	v := q.buf[h&q.mask]
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// PopBatch dequeues up to len(dst) elements into dst and returns the count.
+// Consumer side only.
+func (q *SPSC[T]) PopBatch(dst []T) int {
+	h := q.head.Load()
+	avail := q.tailCache - h
+	if avail == 0 {
+		q.tailCache = q.tail.Load()
+		avail = q.tailCache - h
+		if avail == 0 {
+			return 0
+		}
+	}
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = q.buf[(h+i)&q.mask]
+	}
+	q.head.Store(h + n)
+	return int(n)
+}

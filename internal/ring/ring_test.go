@@ -1,0 +1,91 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](8)
+	if q.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", q.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		if !q.TryPush(i) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if q.TryPush(99) {
+		t.Error("push succeeded on full ring")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Error("pop succeeded on empty ring")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 2}, {1, 2}, {3, 4}, {4, 4}, {1000, 1024}} {
+		if got := New[byte](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentTransfer moves a large sequence through the ring with one
+// producer and one consumer; run under -race this validates the
+// happens-before edges between the two sides.
+func TestConcurrentTransfer(t *testing.T) {
+	n := uint64(50000)
+	if testing.Short() {
+		n = 5000
+	}
+	q := New[uint64](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	var next uint64
+	buf := make([]uint64, 32)
+	for next < n {
+		k := q.PopBatch(buf)
+		if k == 0 {
+			if v, ok := q.TryPop(); ok {
+				buf[0] = v
+				k = 1
+			} else {
+				runtime.Gosched()
+				continue
+			}
+		}
+		for i := 0; i < k; i++ {
+			if buf[i] != next {
+				t.Fatalf("element %d = %d, want %d", next, buf[i], next)
+			}
+			next++
+		}
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Errorf("ring should be drained, Len = %d", q.Len())
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New[uint64](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.TryPush(uint64(i))
+		q.TryPop()
+	}
+}

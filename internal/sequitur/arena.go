@@ -1,0 +1,116 @@
+package sequitur
+
+// Arena storage for grammar symbols and rules.
+//
+// The profiling hot path appends one symbol per sampled data reference, so
+// per-symbol heap allocation and map traffic dominate ingestion cost. Symbols
+// live in a slab arena grown in fixed-size chunks and are addressed by dense
+// uint32 indices; chunks are never reallocated, so &slab[c][o] stays valid for
+// the grammar's lifetime. Removed symbols and rules go on freelists and are
+// recycled, which makes steady-state appends (a grammar that is compressing
+// well) allocation-free.
+
+const (
+	chunkShift = 12
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+
+	// nilSym marks an unlinked symbol pointer.
+	nilSym = ^uint32(0)
+)
+
+// symNode is a symbol in a rule's circular doubly-linked right-hand side,
+// the arena analog of a pointer-linked Sequitur symbol.
+//
+// id is the symbol's identity, precomputed so digram keys need no decoding:
+// a terminal with value v has id v<<1; a nonterminal referencing rule r has
+// id r<<1|1. A guard carries the id of its owning rule (r<<1|1), making the
+// container of any symbol reachable, but is excluded from digrams by its
+// guard flag.
+type symNode struct {
+	next, prev uint32
+	guard      bool
+	id         uint64
+}
+
+// isNonterminal reports whether the node references a rule (and is not the
+// rule's guard).
+func (n *symNode) isNonterminal() bool { return !n.guard && n.id&1 == 1 }
+
+// ruleOf returns the rule index encoded in a nonterminal or guard id.
+func (n *symNode) ruleOf() uint32 { return uint32(n.id >> 1) }
+
+// value returns the terminal value encoded in a terminal id.
+func (n *symNode) value() uint64 { return n.id >> 1 }
+
+// termID and ruleID build symbol identities.
+func termID(v uint64) uint64  { return v << 1 }
+func ruleID(ri uint32) uint64 { return uint64(ri)<<1 | 1 }
+
+// ruleNode is a grammar production: its guard symbol closes the RHS list and
+// count tracks how many nonterminals reference it.
+type ruleNode struct {
+	guard uint32
+	count int32
+}
+
+// sym returns the node for index i. The returned pointer is stable: chunks
+// are fully allocated up front and never moved.
+func (g *Grammar) sym(i uint32) *symNode {
+	return &g.slab[i>>chunkShift][i&chunkMask]
+}
+
+// alloc returns a fresh, unlinked symbol node, recycling freed slots first.
+func (g *Grammar) alloc(id uint64, guard bool) uint32 {
+	var i uint32
+	if n := len(g.freeSyms); n > 0 {
+		i = g.freeSyms[n-1]
+		g.freeSyms = g.freeSyms[:n-1]
+	} else {
+		if g.used == uint32(len(g.slab))<<chunkShift {
+			g.slab = append(g.slab, make([]symNode, chunkSize))
+		}
+		i = g.used
+		g.used++
+	}
+	*g.sym(i) = symNode{next: nilSym, prev: nilSym, guard: guard, id: id}
+	return i
+}
+
+// freeSym recycles a symbol slot. The node's fields stay readable until the
+// slot is reallocated, so callers may free eagerly and finish reading
+// neighbors afterwards within the same grammar operation.
+func (g *Grammar) freeSym(i uint32) {
+	g.freeSyms = append(g.freeSyms, i)
+}
+
+// newRule allocates a production with an empty circular RHS. Rule indices are
+// recycled; a slot index identifies a rule only while that rule is live,
+// which is all the digram keys require.
+func (g *Grammar) newRule() uint32 {
+	var ri uint32
+	if n := len(g.freeRules); n > 0 {
+		ri = g.freeRules[n-1]
+		g.freeRules = g.freeRules[:n-1]
+	} else {
+		ri = uint32(len(g.rules))
+		g.rules = append(g.rules, ruleNode{})
+	}
+	guard := g.alloc(ruleID(ri), true)
+	gn := g.sym(guard)
+	gn.next = guard
+	gn.prev = guard
+	g.rules[ri] = ruleNode{guard: guard}
+	g.ruleCount++
+	return ri
+}
+
+// freeRule recycles a rule slot (the caller frees its guard symbol).
+func (g *Grammar) freeRule(ri uint32) {
+	g.freeRules = append(g.freeRules, ri)
+	g.ruleCount--
+}
+
+// first and last return the ends of rule ri's right-hand side.
+func (g *Grammar) first(ri uint32) uint32 { return g.sym(g.rules[ri].guard).next }
+func (g *Grammar) last(ri uint32) uint32  { return g.sym(g.rules[ri].guard).prev }

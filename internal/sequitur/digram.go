@@ -1,0 +1,141 @@
+package sequitur
+
+// digramTable is an open-addressed hash table from a packed digram — the
+// identity keys of two adjacent symbols — to the arena index of the symbol
+// that owns the digram's canonical occurrence. It replaces a Go
+// map[struct{a,b uint64}]*symbol on the append hot path: linear probing with
+// power-of-two capacity, and tombstone-free deletion by backward shifting,
+// so long-lived grammars never degrade from accumulated deletions.
+type digramTable struct {
+	entries []digramEntry
+	n       int // live entries
+}
+
+type digramEntry struct {
+	k0, k1 uint64
+	sym    uint32
+	used   bool
+}
+
+// hashDigram mixes the two symbol keys (splitmix64-style finalizer).
+func hashDigram(a, b uint64) uint64 {
+	h := a*0x9E3779B97F4A7C15 + b
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return h
+}
+
+// get returns the owner of digram (k0, k1), if present.
+func (t *digramTable) get(k0, k1 uint64) (uint32, bool) {
+	if len(t.entries) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := hashDigram(k0, k1) & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.used {
+			return 0, false
+		}
+		if e.k0 == k0 && e.k1 == k1 {
+			return e.sym, true
+		}
+	}
+}
+
+// getOrSet returns the existing owner of digram (k0, k1), or records sym as
+// its owner if absent — one probe sequence for the common check() lookup.
+func (t *digramTable) getOrSet(k0, k1 uint64, sym uint32) (uint32, bool) {
+	if 4*(t.n+1) >= 3*len(t.entries) {
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := hashDigram(k0, k1) & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.used {
+			*e = digramEntry{k0: k0, k1: k1, sym: sym, used: true}
+			t.n++
+			return 0, false
+		}
+		if e.k0 == k0 && e.k1 == k1 {
+			return e.sym, true
+		}
+	}
+}
+
+// set inserts or overwrites the owner of digram (k0, k1).
+func (t *digramTable) set(k0, k1 uint64, sym uint32) {
+	if 4*(t.n+1) >= 3*len(t.entries) { // grow at 75% load
+		t.grow()
+	}
+	mask := uint64(len(t.entries) - 1)
+	for i := hashDigram(k0, k1) & mask; ; i = (i + 1) & mask {
+		e := &t.entries[i]
+		if !e.used {
+			*e = digramEntry{k0: k0, k1: k1, sym: sym, used: true}
+			t.n++
+			return
+		}
+		if e.k0 == k0 && e.k1 == k1 {
+			e.sym = sym
+			return
+		}
+	}
+}
+
+// delOwned removes digram (k0, k1) if present and owned by sym, closing the
+// probe sequence by backward shifting instead of leaving a tombstone.
+func (t *digramTable) delOwned(k0, k1 uint64, sym uint32) {
+	if len(t.entries) == 0 {
+		return
+	}
+	mask := uint64(len(t.entries) - 1)
+	i := hashDigram(k0, k1) & mask
+	for {
+		e := &t.entries[i]
+		if !e.used {
+			return
+		}
+		if e.k0 == k0 && e.k1 == k1 {
+			if e.sym != sym {
+				return
+			}
+			break
+		}
+		i = (i + 1) & mask
+	}
+	// Shift later entries of the same probe cluster back over the hole so
+	// every surviving entry stays reachable from its home slot.
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := &t.entries[j]
+		if !e.used {
+			break
+		}
+		home := hashDigram(e.k0, e.k1) & mask
+		if (j-home)&mask >= (j-i)&mask {
+			t.entries[i] = *e
+			i = j
+		}
+	}
+	t.entries[i] = digramEntry{}
+	t.n--
+}
+
+func (t *digramTable) grow() {
+	newCap := 64
+	if len(t.entries) > 0 {
+		newCap = 2 * len(t.entries)
+	}
+	old := t.entries
+	t.entries = make([]digramEntry, newCap)
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.set(old[i].k0, old[i].k1, old[i].sym)
+		}
+	}
+}

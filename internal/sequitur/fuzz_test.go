@@ -5,27 +5,43 @@ import (
 	"testing"
 )
 
-// FuzzRoundTrip drives the grammar with arbitrary byte strings and checks
-// the fundamental invariant: the grammar expands back to its input and its
-// structural invariants hold.
+// FuzzRoundTrip drives the arena-backed grammar with arbitrary byte strings
+// and checks it differentially against the retained pointer-based reference
+// implementation (naive_test.go): both must agree on Len, Size, NumRules,
+// and the expanded string, and the arena grammar's structural invariants
+// must hold.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("abaabcabcabcabc"))
 	f.Add([]byte("aaaa"))
 	f.Add([]byte(""))
 	f.Add([]byte("abcabcabdabcabd"))
 	f.Add(bytes.Repeat([]byte("xy"), 50))
+	f.Add(bytes.Repeat([]byte("a"), 257))
+	f.Add([]byte("abcdabcd_abcdabcd_abcdabcd_"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
 			data = data[:4096]
 		}
 		g := New()
+		naive := newNaive()
 		for _, b := range data {
 			g.Append(uint64(b))
+			naive.Append(uint64(b))
 		}
 		if g.Len() != uint64(len(data)) {
 			t.Fatalf("Len = %d, want %d", g.Len(), len(data))
 		}
+		if g.Len() != naive.Len() {
+			t.Fatalf("Len = %d, naive = %d", g.Len(), naive.Len())
+		}
+		if g.Size() != naive.Size() {
+			t.Fatalf("Size = %d, naive = %d", g.Size(), naive.Size())
+		}
+		if g.NumRules() != naive.NumRules() {
+			t.Fatalf("NumRules = %d, naive = %d", g.NumRules(), naive.NumRules())
+		}
+		want := naive.expandString()
 		snap := g.Snapshot()
 		out := snap.Expand(0)
 		if len(out) != len(data) {
@@ -34,6 +50,9 @@ func FuzzRoundTrip(f *testing.F) {
 		for i, v := range out {
 			if v != uint64(data[i]) {
 				t.Fatalf("expansion differs at %d: %d != %d", i, v, data[i])
+			}
+			if v != want[i] {
+				t.Fatalf("expansion diverges from naive at %d: %d != %d", i, v, want[i])
 			}
 		}
 		// Rule utility: every non-start rule used at least twice with at

@@ -1,0 +1,205 @@
+package sequitur
+
+// This file retains the original pointer-based Sequitur implementation as a
+// naive reference for differential fuzzing: the arena-backed Grammar must
+// agree with it on every observable (Len, Size, NumRules, expansion) for
+// every input. It is deliberately a verbatim copy of the pre-arena code —
+// heap-allocated symbols, a Go map for the digram index — so the two
+// implementations share no data-structure code.
+
+type digram struct {
+	a, b uint64
+}
+
+type symbol struct {
+	next, prev *symbol
+	value      uint64
+	rule       *rule
+	guard      bool
+}
+
+func (s *symbol) isNonterminal() bool { return !s.guard && s.rule != nil }
+
+func (s *symbol) key() uint64 {
+	if s.rule != nil {
+		return uint64(s.rule.id)<<1 | 1
+	}
+	return s.value << 1
+}
+
+type rule struct {
+	id    int
+	guard *symbol
+	count int
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+
+type naiveGrammar struct {
+	digrams map[digram]*symbol
+	start   *rule
+	nextID  int
+	length  uint64
+	symbols int
+	rules   int
+}
+
+func newNaive() *naiveGrammar {
+	g := &naiveGrammar{digrams: make(map[digram]*symbol)}
+	g.start = g.newRule()
+	return g
+}
+
+func (g *naiveGrammar) newRule() *rule {
+	r := &rule{id: g.nextID}
+	g.nextID++
+	guard := &symbol{rule: r, guard: true}
+	guard.next = guard
+	guard.prev = guard
+	r.guard = guard
+	g.rules++
+	return r
+}
+
+func (g *naiveGrammar) Len() uint64   { return g.length }
+func (g *naiveGrammar) NumRules() int { return g.rules }
+func (g *naiveGrammar) Size() int     { return g.symbols }
+
+func (g *naiveGrammar) Append(v uint64) {
+	g.length++
+	s := &symbol{value: v}
+	g.insertAfter(g.start.last(), s)
+	if prev := s.prev; !prev.guard {
+		g.check(prev)
+	}
+}
+
+func (g *naiveGrammar) insertAfter(pos, s *symbol) {
+	g.symbols++
+	if s.isNonterminal() {
+		s.rule.count++
+	}
+	g.join(s, pos.next)
+	g.join(pos, s)
+}
+
+func (g *naiveGrammar) remove(s *symbol) {
+	g.join(s.prev, s.next)
+	if !s.guard {
+		g.deleteDigram(s)
+		if s.isNonterminal() {
+			s.rule.count--
+		}
+		g.symbols--
+	}
+}
+
+func (g *naiveGrammar) join(left, right *symbol) {
+	if left.next != nil {
+		g.deleteDigram(left)
+		if sameKey(right.prev, right) && sameKey(right, right.next) {
+			g.digrams[digram{right.key(), right.next.key()}] = right
+		}
+		if sameKey(left.prev, left) && sameKey(left, left.next) {
+			g.digrams[digram{left.prev.key(), left.key()}] = left.prev
+		}
+	}
+	left.next = right
+	right.prev = left
+}
+
+func sameKey(a, b *symbol) bool {
+	return a != nil && b != nil && !a.guard && !b.guard && a.key() == b.key()
+}
+
+func (g *naiveGrammar) deleteDigram(s *symbol) {
+	if s == nil || s.guard || s.next == nil || s.next.guard {
+		return
+	}
+	d := digram{s.key(), s.next.key()}
+	if g.digrams[d] == s {
+		delete(g.digrams, d)
+	}
+}
+
+func (g *naiveGrammar) check(s *symbol) bool {
+	if s.guard || s.next == nil || s.next.guard {
+		return false
+	}
+	d := digram{s.key(), s.next.key()}
+	m, ok := g.digrams[d]
+	if !ok {
+		g.digrams[d] = s
+		return false
+	}
+	if m == s {
+		return false
+	}
+	if m.next != s {
+		g.match(s, m)
+		return true
+	}
+	return false
+}
+
+func (g *naiveGrammar) match(s, m *symbol) {
+	var r *rule
+	if m.prev.guard && m.next.next.guard {
+		r = m.prev.rule
+		g.substitute(s, r)
+	} else {
+		r = g.newRule()
+		g.insertAfter(r.last(), &symbol{value: s.value, rule: s.rule})
+		g.insertAfter(r.last(), &symbol{value: s.next.value, rule: s.next.rule})
+		g.substitute(m, r)
+		g.substitute(s, r)
+		g.digrams[digram{r.first().key(), r.first().next.key()}] = r.first()
+	}
+	if f := r.first(); f.isNonterminal() && f.rule.count == 1 {
+		g.expand(f)
+	}
+}
+
+func (g *naiveGrammar) substitute(s *symbol, r *rule) {
+	q := s.prev
+	g.remove(s.next)
+	g.remove(s)
+	nt := &symbol{rule: r}
+	g.insertAfter(q, nt)
+	if !g.check(q) {
+		g.check(nt)
+	}
+}
+
+func (g *naiveGrammar) expand(s *symbol) {
+	left, right := s.prev, s.next
+	r := s.rule
+	f, l := r.first(), r.last()
+
+	g.deleteDigram(s)
+	g.symbols--
+	g.join(left, f)
+	g.join(l, right)
+	g.digrams[digram{l.key(), right.key()}] = l
+	g.rules--
+	r.guard = nil
+}
+
+// expandString reconstructs the terminal string the grammar generates, by
+// recursive descent from the start rule.
+func (g *naiveGrammar) expandString() []uint64 {
+	var out []uint64
+	var walk func(r *rule)
+	walk = func(r *rule) {
+		for s := r.first(); !s.guard; s = s.next {
+			if s.isNonterminal() {
+				walk(s.rule)
+			} else {
+				out = append(out, s.value)
+			}
+		}
+	}
+	walk(g.start)
+	return out
+}

@@ -15,78 +15,44 @@
 //     twice.
 //
 // Appending a symbol is amortized O(1); the grammar is deterministic.
+//
+// Because appending runs inside the profiled program (the paper charges
+// profiling at ~0.5% overhead, §2.2), the implementation avoids per-symbol
+// heap work: symbols live in a chunked slab arena addressed by uint32
+// indices with a freelist (see arena.go), and the digram index is a custom
+// open-addressed table keyed on the packed symbol-identity pair (see
+// digram.go). A grammar in steady state — recycling as much as it grows —
+// appends with zero allocations.
 package sequitur
-
-// digram identifies an adjacent symbol pair. Terminals and rules are encoded
-// into disjoint key spaces.
-type digram struct {
-	a, b uint64
-}
-
-// symbol is a node in a rule's doubly-linked right-hand side. Each rule's
-// RHS is a circular list closed by a guard node; the guard's rule field
-// points at the owning rule so the container of any symbol is reachable.
-type symbol struct {
-	next, prev *symbol
-	value      uint64 // terminal value (when rule == nil)
-	rule       *rule  // target rule (nonterminal) or owner (guard)
-	guard      bool
-}
-
-func (s *symbol) isNonterminal() bool { return !s.guard && s.rule != nil }
-
-// key encodes the symbol's identity for digram lookup.
-func (s *symbol) key() uint64 {
-	if s.rule != nil {
-		return uint64(s.rule.id)<<1 | 1
-	}
-	return s.value << 1
-}
-
-// rule is a grammar production.
-type rule struct {
-	id    int
-	guard *symbol
-	count int // number of nonterminal symbols referencing this rule
-}
-
-func (r *rule) first() *symbol { return r.guard.next }
-func (r *rule) last() *symbol  { return r.guard.prev }
 
 // Grammar is an incrementally-built Sequitur grammar. The zero value is not
 // usable; call New.
 type Grammar struct {
-	digrams map[digram]*symbol
-	start   *rule
-	nextID  int
-	length  uint64 // terminals appended so far
-	symbols int    // symbols currently on all right-hand sides
-	rules   int    // live rules including the start rule
+	slab      [][]symNode
+	used      uint32 // symbol slots handed out from the slab
+	freeSyms  []uint32
+	rules     []ruleNode
+	freeRules []uint32
+	digrams   digramTable
+
+	start     uint32
+	length    uint64 // terminals appended so far
+	symbols   int    // symbols currently on all right-hand sides
+	ruleCount int    // live rules including the start rule
 }
 
 // New returns an empty grammar.
 func New() *Grammar {
-	g := &Grammar{digrams: make(map[digram]*symbol)}
+	g := &Grammar{}
 	g.start = g.newRule()
 	return g
-}
-
-func (g *Grammar) newRule() *rule {
-	r := &rule{id: g.nextID}
-	g.nextID++
-	guard := &symbol{rule: r, guard: true}
-	guard.next = guard
-	guard.prev = guard
-	r.guard = guard
-	g.rules++
-	return r
 }
 
 // Len returns the number of terminals appended so far.
 func (g *Grammar) Len() uint64 { return g.length }
 
 // NumRules returns the number of live rules, including the start rule.
-func (g *Grammar) NumRules() int { return g.rules }
+func (g *Grammar) NumRules() int { return g.ruleCount }
 
 // Size returns the total number of symbols on all right-hand sides — the
 // grammar size that the hot-data-stream analysis is linear in.
@@ -96,9 +62,9 @@ func (g *Grammar) Size() int { return g.symbols }
 // grammar invariants.
 func (g *Grammar) Append(v uint64) {
 	g.length++
-	s := &symbol{value: v}
-	g.insertAfter(g.start.last(), s)
-	if prev := s.prev; !prev.guard {
+	s := g.alloc(termID(v), false)
+	g.insertAfter(g.last(g.start), s)
+	if prev := g.sym(s).prev; !g.sym(prev).guard {
 		g.check(prev)
 	}
 }
@@ -111,79 +77,91 @@ func (g *Grammar) AppendAll(vs []uint64) {
 }
 
 // insertAfter links s into the list after pos, updating the digram index.
-func (g *Grammar) insertAfter(pos, s *symbol) {
+func (g *Grammar) insertAfter(pos, s uint32) {
 	g.symbols++
-	if s.isNonterminal() {
-		s.rule.count++
+	if sn := g.sym(s); sn.isNonterminal() {
+		g.rules[sn.ruleOf()].count++
 	}
-	g.join(s, pos.next)
+	next := g.sym(pos).next
+	g.join(s, next)
 	g.join(pos, s)
 }
 
 // remove unlinks s from its list, joining its neighbors and cleaning up the
-// digram table and reference counts (the canonical symbol destructor).
-func (g *Grammar) remove(s *symbol) {
-	g.join(s.prev, s.next)
-	if !s.guard {
-		g.deleteDigram(s)
-		if s.isNonterminal() {
-			s.rule.count--
+// digram table and reference counts (the canonical symbol destructor). The
+// slot is recycled; its fields stay readable until the next alloc.
+func (g *Grammar) remove(s uint32) {
+	sn := g.sym(s)
+	g.join(sn.prev, sn.next)
+	if !sn.guard {
+		g.deleteDigram(s, sn)
+		if sn.isNonterminal() {
+			g.rules[sn.ruleOf()].count--
 		}
 		g.symbols--
 	}
+	g.freeSym(s)
 }
 
 // join makes right follow left. If left previously had a successor, its old
 // digram is removed; the triple-handling re-inserts digrams for runs like
 // "aaa" whose table entries pointed into the removed region.
-func (g *Grammar) join(left, right *symbol) {
-	if left.next != nil {
-		g.deleteDigram(left)
-		if sameKey(right.prev, right) && sameKey(right, right.next) {
-			g.digrams[digram{right.key(), right.next.key()}] = right
+func (g *Grammar) join(left, right uint32) {
+	ln, rn := g.sym(left), g.sym(right)
+	if ln.next != nilSym {
+		g.deleteDigram(left, ln)
+		// Re-own overlapping-run digrams whose entries pointed into the
+		// removed region: right's (prev,right,next) triple, then left's.
+		if !rn.guard {
+			if rp, rx := rn.prev, rn.next; rp != nilSym && rx != nilSym {
+				rpn, rxn := g.sym(rp), g.sym(rx)
+				if !rpn.guard && rpn.id == rn.id && !rxn.guard && rn.id == rxn.id {
+					g.digrams.set(rn.id, rxn.id, right)
+				}
+			}
 		}
-		if sameKey(left.prev, left) && sameKey(left, left.next) {
-			g.digrams[digram{left.prev.key(), left.key()}] = left.prev
+		if !ln.guard {
+			if lp, lx := ln.prev, ln.next; lp != nilSym && lx != nilSym {
+				lpn, lxn := g.sym(lp), g.sym(lx)
+				if !lpn.guard && lpn.id == ln.id && !lxn.guard && ln.id == lxn.id {
+					g.digrams.set(lpn.id, ln.id, lp)
+				}
+			}
 		}
 	}
-	left.next = right
-	right.prev = left
-}
-
-// sameKey reports whether a and b are both non-guard symbols with the same
-// identity.
-func sameKey(a, b *symbol) bool {
-	return a != nil && b != nil && !a.guard && !b.guard && a.key() == b.key()
+	ln.next = right
+	rn.prev = left
 }
 
 // deleteDigram removes the table entry for the digram starting at s, if s
-// owns it.
-func (g *Grammar) deleteDigram(s *symbol) {
-	if s == nil || s.guard || s.next == nil || s.next.guard {
+// owns it. sn must be s's node.
+func (g *Grammar) deleteDigram(s uint32, sn *symNode) {
+	if sn.guard || sn.next == nilSym {
 		return
 	}
-	d := digram{s.key(), s.next.key()}
-	if g.digrams[d] == s {
-		delete(g.digrams, d)
+	nn := g.sym(sn.next)
+	if nn.guard {
+		return
 	}
+	g.digrams.delOwned(sn.id, nn.id, s)
 }
 
 // check enforces digram uniqueness for the digram beginning at s. It returns
 // true if a duplicate was found.
-func (g *Grammar) check(s *symbol) bool {
-	if s.guard || s.next == nil || s.next.guard {
+func (g *Grammar) check(s uint32) bool {
+	sn := g.sym(s)
+	if sn.guard || sn.next == nilSym {
 		return false
 	}
-	d := digram{s.key(), s.next.key()}
-	m, ok := g.digrams[d]
-	if !ok {
-		g.digrams[d] = s
+	nn := g.sym(sn.next)
+	if nn.guard {
 		return false
 	}
-	if m == s {
+	m, ok := g.digrams.getOrSet(sn.id, nn.id, s)
+	if !ok || m == s {
 		return false
 	}
-	if m.next != s {
+	if g.sym(m).next != s {
 		// Non-overlapping duplicate: enforce uniqueness.
 		g.match(s, m)
 		return true
@@ -195,36 +173,43 @@ func (g *Grammar) check(s *symbol) bool {
 
 // match resolves a duplicate digram: s and m begin the same digram at
 // different positions.
-func (g *Grammar) match(s, m *symbol) {
-	var r *rule
-	if m.prev.guard && m.next.next.guard {
+func (g *Grammar) match(s, m uint32) {
+	var r uint32
+	mn := g.sym(m)
+	if g.sym(mn.prev).guard && g.sym(g.sym(mn.next).next).guard {
 		// The matching digram is exactly the RHS of an existing rule; reuse
 		// it.
-		r = m.prev.rule
+		r = g.sym(mn.prev).ruleOf()
 		g.substitute(s, r)
 	} else {
 		// Create a new rule for the digram and substitute both occurrences.
 		r = g.newRule()
-		g.insertAfter(r.last(), &symbol{value: s.value, rule: s.rule})
-		g.insertAfter(r.last(), &symbol{value: s.next.value, rule: s.next.rule})
+		sn := g.sym(s)
+		second := sn.next
+		c1 := g.alloc(sn.id, false)
+		g.insertAfter(g.last(r), c1)
+		c2 := g.alloc(g.sym(second).id, false)
+		g.insertAfter(g.last(r), c2)
 		g.substitute(m, r)
 		g.substitute(s, r)
-		g.digrams[digram{r.first().key(), r.first().next.key()}] = r.first()
+		f := g.first(r)
+		fn := g.sym(f)
+		g.digrams.set(fn.id, g.sym(fn.next).id, f)
 	}
 	// Rule utility: if the new rule's first symbol is a nonterminal now used
 	// only once, inline it.
-	if f := r.first(); f.isNonterminal() && f.rule.count == 1 {
+	if f := g.first(r); g.sym(f).isNonterminal() && g.rules[g.sym(f).ruleOf()].count == 1 {
 		g.expand(f)
 	}
 }
 
 // substitute replaces the digram starting at s with a nonterminal
 // referencing r.
-func (g *Grammar) substitute(s *symbol, r *rule) {
-	q := s.prev
-	g.remove(s.next)
+func (g *Grammar) substitute(s uint32, r uint32) {
+	q := g.sym(s).prev
+	g.remove(g.sym(s).next)
 	g.remove(s)
-	nt := &symbol{rule: r}
+	nt := g.alloc(ruleID(r), false)
 	g.insertAfter(q, nt)
 	if !g.check(q) {
 		g.check(nt)
@@ -233,16 +218,19 @@ func (g *Grammar) substitute(s *symbol, r *rule) {
 
 // expand inlines the rule referenced by nonterminal s (which must have
 // count 1) into s's position and deletes the rule.
-func (g *Grammar) expand(s *symbol) {
-	left, right := s.prev, s.next
-	r := s.rule
-	f, l := r.first(), r.last()
+func (g *Grammar) expand(s uint32) {
+	sn := g.sym(s)
+	left, right := sn.prev, sn.next
+	ri := sn.ruleOf()
+	guard := g.rules[ri].guard
+	f, l := g.first(ri), g.last(ri)
 
-	g.deleteDigram(s)
+	g.deleteDigram(s, sn)
 	g.symbols-- // s disappears without a neighbor join
 	g.join(left, f)
 	g.join(l, right)
-	g.digrams[digram{l.key(), right.key()}] = l
-	g.rules--
-	r.guard = nil
+	g.digrams.set(g.sym(l).id, g.sym(right).id, l)
+	g.freeRule(ri)
+	g.freeSym(guard)
+	g.freeSym(s)
 }

@@ -1,0 +1,225 @@
+package hotprefetch
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hotprefetch/internal/ring"
+)
+
+// ShardedProfile scales profile ingestion across concurrent producers: N
+// independent Profile shards, each fed through its own single-producer
+// single-consumer ring buffer by a dedicated consumer goroutine. Producers
+// never contend on a lock or on each other's cache lines, so aggregate
+// ingestion throughput grows with the shard count — the concurrency layer a
+// multi-tenant profiling service needs on top of the paper's inherently
+// sequential per-trace algorithms (§2.3 profiles one program; a service
+// profiles many).
+//
+// Each shard builds an independent Sequitur grammar over the subsequence it
+// receives, so hot data streams are detected per shard and merged by heat.
+// Route references so that one logical trace (one profiled program, tenant,
+// or thread) always lands on the same shard: interleaving a single logical
+// trace across shards splits its regularity and weakens detection. With one
+// producer per logical trace and NumShards == 1 the result is identical to
+// feeding a single Profile.
+type ShardedProfile struct {
+	shards []*ProfileShard
+	closed atomic.Bool
+}
+
+// ProfileShard is one shard's producer handle. Each shard accepts references
+// from at most one goroutine at a time (the single-producer half of the SPSC
+// contract); distinct shards are fully independent.
+type ProfileShard struct {
+	q        *ring.SPSC[Ref]
+	p        *Profile
+	pushed   atomic.Uint64 // references accepted by Add
+	consumed atomic.Uint64 // references applied to p
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// shardRingCap bounds the per-shard backlog; large enough to ride out
+// consumer scheduling hiccups, small enough to keep memory per shard modest.
+const shardRingCap = 1 << 12
+
+// NewShardedProfile returns a profile with n shards (n < 1 is treated as 1),
+// spawning one consumer goroutine per shard. Call Close to stop the
+// consumers when the profile is no longer needed.
+func NewShardedProfile(n int) *ShardedProfile {
+	if n < 1 {
+		n = 1
+	}
+	sp := &ShardedProfile{shards: make([]*ProfileShard, n)}
+	for i := range sp.shards {
+		s := &ProfileShard{
+			q:    ring.New[Ref](shardRingCap),
+			p:    NewProfile(),
+			stop: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		sp.shards[i] = s
+		go s.consume()
+	}
+	return sp
+}
+
+// consume drains the shard's ring into its Profile until stopped.
+func (s *ProfileShard) consume() {
+	defer close(s.done)
+	var batch [256]Ref
+	for {
+		n := s.q.PopBatch(batch[:])
+		if n == 0 {
+			select {
+			case <-s.stop:
+				// Drain what raced in before the stop signal.
+				for {
+					n := s.q.PopBatch(batch[:])
+					if n == 0 {
+						return
+					}
+					s.apply(batch[:n])
+				}
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		s.apply(batch[:n])
+	}
+}
+
+func (s *ProfileShard) apply(refs []Ref) {
+	for _, r := range refs {
+		s.p.Add(r)
+	}
+	s.consumed.Add(uint64(len(refs)))
+}
+
+// Add appends one data reference to the shard, blocking (spinning with
+// scheduler yields) while the shard's ring is full.
+func (s *ProfileShard) Add(r Ref) {
+	s.q.Push(r)
+	s.pushed.Add(1)
+}
+
+// AddAll appends each reference in order.
+func (s *ProfileShard) AddAll(refs []Ref) {
+	for _, r := range refs {
+		s.Add(r)
+	}
+}
+
+// drained reports whether every accepted reference has been applied.
+func (s *ProfileShard) drained() bool {
+	return s.consumed.Load() == s.pushed.Load()
+}
+
+// NumShards returns the number of shards.
+func (sp *ShardedProfile) NumShards() int { return len(sp.shards) }
+
+// Shard returns producer handle i (0 <= i < NumShards).
+func (sp *ShardedProfile) Shard(i int) *ProfileShard { return sp.shards[i] }
+
+// Flush blocks until every reference accepted by the shards has been
+// compressed into its shard's grammar. Producers should be quiescent;
+// references added concurrently with Flush may or may not be included.
+func (sp *ShardedProfile) Flush() {
+	for _, s := range sp.shards {
+		for !s.drained() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Len returns the total number of references ingested across all shards
+// (flushing first so in-flight references are counted).
+func (sp *ShardedProfile) Len() uint64 {
+	sp.Flush()
+	var n uint64
+	for _, s := range sp.shards {
+		n += s.p.Len()
+	}
+	return n
+}
+
+// Close stops the consumer goroutines after draining in-flight references.
+// The profile remains readable (HotStreams, Len) but Add must not be called
+// after Close. Close is idempotent.
+func (sp *ShardedProfile) Close() {
+	if !sp.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, s := range sp.shards {
+		close(s.stop)
+	}
+	for _, s := range sp.shards {
+		<-s.done
+	}
+}
+
+// HotStreams flushes all shards, extracts each shard's hot data streams in
+// parallel, and merges them: identical streams found by several shards are
+// deduplicated with their heats summed (frequency adds across shards, and
+// heat = length × frequency), then the result is re-ranked hottest first
+// and capped at cfg.MaxStreams.
+//
+// cfg's coverage threshold applies per shard (each shard knows only its own
+// trace length), so with N > 1 a stream must be hot within at least one
+// shard to be found — route whole logical traces to single shards to keep
+// this faithful.
+func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
+	sp.Flush()
+	perShard := make([][]Stream, len(sp.shards))
+	var wg sync.WaitGroup
+	for i, s := range sp.shards {
+		wg.Add(1)
+		go func(i int, s *ProfileShard) {
+			defer wg.Done()
+			perShard[i] = s.p.HotStreams(cfg)
+		}(i, s)
+	}
+	wg.Wait()
+	return mergeStreams(perShard, cfg.MaxStreams)
+}
+
+// mergeStreams deduplicates identical streams across shards (summing heat)
+// and returns them hottest first, preserving shard-extraction order among
+// equal heats, capped at maxStreams (0 = no cap).
+func mergeStreams(perShard [][]Stream, maxStreams int) []Stream {
+	type slot struct {
+		idx  int
+		heat uint64
+	}
+	var (
+		out  []Stream
+		key  strings.Builder
+		seen = map[string]*slot{}
+	)
+	for _, streams := range perShard {
+		for _, st := range streams {
+			key.Reset()
+			for _, r := range st.Refs {
+				fmt.Fprintf(&key, "%d:%x;", r.PC, r.Addr)
+			}
+			if sl, ok := seen[key.String()]; ok {
+				sl.heat += st.Heat
+				out[sl.idx].Heat = sl.heat
+				continue
+			}
+			seen[key.String()] = &slot{idx: len(out), heat: st.Heat}
+			out = append(out, st)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Heat > out[j].Heat })
+	if maxStreams > 0 && len(out) > maxStreams {
+		out = out[:maxStreams]
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package hotprefetch
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// shardTrace builds a trace dominated by a repeating hot stream, with the
+// stream's identity offset per producer so shards see distinct streams.
+func shardTrace(producer, reps int) []Ref {
+	stream := make([]Ref, 12)
+	for i := range stream {
+		stream[i] = Ref{PC: 100*producer + i, Addr: uint64(0x1000*producer + 8*i)}
+	}
+	var trace []Ref
+	for r := 0; r < reps; r++ {
+		trace = append(trace, stream...)
+		// A little per-repetition noise so the grammar is not one rule.
+		trace = append(trace, Ref{PC: 9000 + producer, Addr: uint64(r)})
+	}
+	return trace
+}
+
+func TestShardedProfileConcurrentProducers(t *testing.T) {
+	const shards = 4
+	sp := NewShardedProfile(shards)
+	defer sp.Close()
+
+	var total uint64
+	var wg sync.WaitGroup
+	traces := make([][]Ref, shards)
+	for i := 0; i < shards; i++ {
+		traces[i] = shardTrace(i+1, 200)
+		total += uint64(len(traces[i]))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp.Shard(i).AddAll(traces[i])
+		}(i)
+	}
+	wg.Wait()
+
+	if got := sp.Len(); got != total {
+		t.Fatalf("Len = %d, want %d", got, total)
+	}
+
+	cfg := AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.1}
+	streams := sp.HotStreams(cfg)
+	if len(streams) < shards {
+		t.Fatalf("got %d hot streams, want at least %d (one per shard)", len(streams), shards)
+	}
+	// Every shard's hot stream should surface: look for each producer's
+	// distinctive leading reference.
+	for i := 0; i < shards; i++ {
+		want := Ref{PC: 100 * (i + 1), Addr: uint64(0x1000 * (i + 1))}
+		found := false
+		for _, s := range streams {
+			for _, r := range s.Refs {
+				if r == want {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no hot stream contains shard %d's leading ref %v", i, want)
+		}
+	}
+}
+
+func TestShardedProfileSingleShardEquivalence(t *testing.T) {
+	trace := shardTrace(1, 300)
+
+	want := NewProfile()
+	want.AddAll(trace)
+
+	sp := NewShardedProfile(1)
+	defer sp.Close()
+	sp.Shard(0).AddAll(trace)
+	sp.Flush()
+
+	if got, w := sp.Len(), want.Len(); got != w {
+		t.Fatalf("Len = %d, want %d", got, w)
+	}
+	cfg := AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.01, MaxStreams: 50}
+	gotStreams := sp.HotStreams(cfg)
+	wantStreams := want.HotStreams(cfg)
+	if !reflect.DeepEqual(gotStreams, wantStreams) {
+		t.Errorf("N=1 sharded HotStreams diverge from single Profile:\n got %v\nwant %v", gotStreams, wantStreams)
+	}
+}
+
+func TestShardedProfileMergeOrdering(t *testing.T) {
+	hot := func(pc int, heat uint64) Stream {
+		return Stream{Refs: []Ref{{PC: pc, Addr: 1}, {PC: pc + 1, Addr: 2}}, Heat: heat}
+	}
+	perShard := [][]Stream{
+		{hot(10, 50), hot(20, 10)},
+		{hot(30, 70), hot(10, 50)}, // hot(10) duplicates shard 0's — heats sum to 100
+	}
+	merged := mergeStreams(perShard, 0)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d streams, want 3 (duplicate collapsed)", len(merged))
+	}
+	wantHeat := []uint64{100, 70, 10}
+	wantPC := []int{10, 30, 20}
+	for i, s := range merged {
+		if s.Heat != wantHeat[i] || s.Refs[0].PC != wantPC[i] {
+			t.Errorf("merged[%d] = pc %d heat %d, want pc %d heat %d",
+				i, s.Refs[0].PC, s.Heat, wantPC[i], wantHeat[i])
+		}
+	}
+
+	capped := mergeStreams(perShard, 2)
+	if len(capped) != 2 || capped[0].Heat != 100 || capped[1].Heat != 70 {
+		t.Errorf("cap 2 kept %v, want the two hottest (100, 70)", capped)
+	}
+}
+
+func TestShardedProfileCloseDrains(t *testing.T) {
+	sp := NewShardedProfile(2)
+	trace := shardTrace(1, 100)
+	sp.Shard(0).AddAll(trace)
+	sp.Shard(1).AddAll(trace)
+	sp.Close()
+	sp.Close() // idempotent
+	if got, want := sp.Len(), uint64(2*len(trace)); got != want {
+		t.Fatalf("Len after Close = %d, want %d", got, want)
+	}
+}
+
+func TestConcurrentMatcherRace(t *testing.T) {
+	p := NewProfile()
+	trace := shardTrace(1, 300)
+	p.AddAll(trace)
+	streams := p.HotStreams(AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.1})
+	if len(streams) == 0 {
+		t.Fatal("no hot streams to match")
+	}
+	cm, err := NewConcurrentMatcher(streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var prefetched [4]int
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for _, r := range trace[:120] {
+					if pf, _ := cm.Observe(r); len(pf) > 0 {
+						prefetched[g]++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range prefetched {
+		total += n
+	}
+	if total == 0 {
+		t.Error("interleaved observation never completed a stream head")
+	}
+	cm.Reset()
+	if cm.NumStates() < 2 {
+		t.Errorf("NumStates = %d, want >= 2", cm.NumStates())
+	}
+}
+
+// TestConcurrentMatcherMatchesSequential checks the wrapper is a plain
+// pass-through when used from one goroutine.
+func TestConcurrentMatcherMatchesSequential(t *testing.T) {
+	p := NewProfile()
+	trace := shardTrace(2, 300)
+	p.AddAll(trace)
+	streams := p.HotStreams(AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.1})
+	if len(streams) == 0 {
+		t.Fatal("no hot streams to match")
+	}
+
+	m, err := NewMatcher(streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewConcurrentMatcher(streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range trace {
+		pf1, c1 := m.Observe(r)
+		pf2, c2 := cm.Observe(r)
+		if c1 != c2 || !reflect.DeepEqual(pf1, pf2) {
+			t.Fatalf("ref %d: sequential (%v, %d) != concurrent (%v, %d)", i, pf1, c1, pf2, c2)
+		}
+	}
+}
