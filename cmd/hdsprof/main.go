@@ -8,6 +8,9 @@
 //	hdsprof -bench mcf [-refs 200000] [-precise] [-top 20]
 //	hdsprof -bench mcf -save trace.hds     # capture the trace to a file
 //	hdsprof -load trace.hds                # analyze a previously saved trace
+//	hdsprof -bench mcf -service -membudget 4096 -policy drop
+//	                                       # profile through the sharded
+//	                                       # service and print its stats JSON
 package main
 
 import (
@@ -27,8 +30,8 @@ import (
 
 // collector records every executed data reference until its budget runs out.
 type collector struct {
-	profile *hotprefetch.Profile
-	raw     []ref.Ref // kept when the trace will be saved
+	add     func(hotprefetch.Ref) // profiling sink (plain Profile or service shard)
+	raw     []ref.Ref             // kept when the trace will be saved
 	keepRaw bool
 	budget  int
 	machine *machine.Machine
@@ -39,7 +42,7 @@ func (c *collector) Check(pc int) (machine.Version, uint64) {
 }
 
 func (c *collector) TraceRef(pc int, addr machine.Word, isWrite bool) uint64 {
-	c.profile.Add(hotprefetch.Ref{PC: pc, Addr: addr})
+	c.add(hotprefetch.Ref{PC: pc, Addr: addr})
 	if c.keepRaw {
 		c.raw = append(c.raw, ref.Ref{PC: pc, Addr: addr})
 	}
@@ -66,9 +69,48 @@ func main() {
 	load := flag.String("load", "", "analyze a saved trace instead of profiling a benchmark")
 	dot := flag.String("dot", "", "write the prefix-matching DFSM for the streams as Graphviz DOT")
 	headLen := flag.Int("headlen", 2, "prefix length for the -dot DFSM")
+	service := flag.Bool("service", false, "profile through the sharded profiling service and print its stats JSON")
+	policy := flag.String("policy", "block", "service ingestion policy: block, drop, or sample")
+	sampleN := flag.Int("samplen", 16, "service Sample policy: accept 1 in N under pressure")
+	memBudget := flag.Int("membudget", 0, "service per-shard grammar symbol budget (0 = unbounded)")
 	flag.Parse()
 
-	col := &collector{profile: hotprefetch.NewProfile(), budget: *refs, keepRaw: *save != ""}
+	// The profiling sink: a plain Profile, or — in service mode — one shard
+	// of the concurrent profiling service, exercising its ingestion policy,
+	// grammar memory budget, and stats plumbing on the same trace.
+	var (
+		profile *hotprefetch.Profile
+		svc     *hotprefetch.ShardedProfile
+	)
+	col := &collector{budget: *refs, keepRaw: *save != ""}
+	if *service {
+		if *precise {
+			log.Fatal("-precise is not supported with -service (the service merges per-cycle fast analyses)")
+		}
+		pol, err := hotprefetch.ParseIngestPolicy(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err = hotprefetch.NewShardedProfileConfig(hotprefetch.ShardedConfig{
+			Shards:            1,
+			Policy:            pol,
+			SampleInterval:    *sampleN,
+			MaxGrammarSymbols: *memBudget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Close()
+		shard := svc.Shard(0)
+		col.add = func(r hotprefetch.Ref) {
+			if err := shard.Add(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		profile = hotprefetch.NewProfile()
+		col.add = profile.Add
+	}
 	name := *bench
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -81,7 +123,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, r := range trace {
-			col.profile.Add(hotprefetch.Ref{PC: r.PC, Addr: r.Addr})
+			col.add(hotprefetch.Ref{PC: r.PC, Addr: r.Addr})
 		}
 		name = *load
 	} else {
@@ -121,18 +163,39 @@ func main() {
 	}
 
 	cfg := hotprefetch.DefaultAnalysisConfig()
-	var streams []hotprefetch.Stream
-	if *precise {
-		streams = col.profile.HotStreamsPrecise(cfg)
-	} else {
-		streams = col.profile.HotStreams(cfg)
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
 	}
-
-	traceLen := col.profile.Len()
+	var (
+		streams     []hotprefetch.Stream
+		traceLen    uint64
+		grammarSize int
+	)
+	switch {
+	case *service:
+		if err := svc.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		streams = svc.HotStreams(cfg)
+		traceLen = svc.Len()
+		grammarSize = svc.Stats().GrammarSize
+	case *precise:
+		streams = profile.HotStreamsPrecise(cfg)
+		traceLen = profile.Len()
+		grammarSize = profile.GrammarSize()
+	default:
+		streams = profile.HotStreams(cfg)
+		traceLen = profile.Len()
+		grammarSize = profile.GrammarSize()
+	}
 	fmt.Printf("source       %s\n", name)
 	fmt.Printf("traced refs  %d\n", traceLen)
-	fmt.Printf("grammar size %d symbols\n", col.profile.GrammarSize())
-	fmt.Printf("hot streams  %d\n\n", len(streams))
+	fmt.Printf("grammar size %d symbols\n", grammarSize)
+	fmt.Printf("hot streams  %d\n", len(streams))
+	if *service {
+		fmt.Printf("stats        %s\n", svc.Stats())
+	}
+	fmt.Println()
 
 	if *dot != "" {
 		f, err := os.Create(*dot)

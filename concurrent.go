@@ -1,6 +1,9 @@
 package hotprefetch
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // ConcurrentMatcher is a Matcher safe for use by multiple goroutines. The
 // DFSM transition tables are immutable after construction, so the mutex only
@@ -12,8 +15,9 @@ import "sync"
 // the merged order. To match per-thread streams independently, give each
 // thread its own Matcher instead.
 type ConcurrentMatcher struct {
-	mu sync.Mutex
-	m  *Matcher
+	mu       sync.Mutex
+	m        *Matcher
+	observed atomic.Uint64
 }
 
 // NewConcurrentMatcher builds the prefix-matching DFSM for streams (see
@@ -33,8 +37,13 @@ func (c *ConcurrentMatcher) Observe(r Ref) (prefetch []uint64, comparisons int) 
 	c.mu.Lock()
 	prefetch, comparisons = c.m.Observe(r)
 	c.mu.Unlock()
+	c.observed.Add(1)
 	return prefetch, comparisons
 }
+
+// Observations returns the number of references observed so far, for service
+// stats (see ShardedProfile.AttachMatcher).
+func (c *ConcurrentMatcher) Observations() uint64 { return c.observed.Load() }
 
 // Reset returns the matcher to its start state (nothing matched).
 func (c *ConcurrentMatcher) Reset() {

@@ -82,14 +82,59 @@ func DefaultAnalysisConfig() AnalysisConfig {
 	}
 }
 
+// Validate reports whether the configuration is well-formed: no negative
+// bounds or caps, MinLen <= MaxLen when both are set, and MinCoverage within
+// [0, 1]. The analysis entry points clamp rather than fail (see internal),
+// so Validate is the error path for callers that accept configurations from
+// the outside — services, tools, RPC layers.
+func (c AnalysisConfig) Validate() error {
+	if c.MinLen < 0 || c.MaxLen < 0 {
+		return fmt.Errorf("hotprefetch: negative stream length bound (MinLen=%d, MaxLen=%d)", c.MinLen, c.MaxLen)
+	}
+	if c.MaxLen > 0 && c.MinLen > c.MaxLen {
+		return fmt.Errorf("hotprefetch: MinLen %d exceeds MaxLen %d", c.MinLen, c.MaxLen)
+	}
+	if c.MinUnique < 0 {
+		return fmt.Errorf("hotprefetch: negative MinUnique %d", c.MinUnique)
+	}
+	if c.MinCoverage < 0 || c.MinCoverage > 1 {
+		return fmt.Errorf("hotprefetch: MinCoverage %g outside [0, 1]", c.MinCoverage)
+	}
+	if c.MaxStreams < 0 {
+		return fmt.Errorf("hotprefetch: negative MaxStreams %d", c.MaxStreams)
+	}
+	return nil
+}
+
+// internal converts to the analysis package's configuration, clamping values
+// a plain uint64 conversion would corrupt: a negative MinLen or MaxLen would
+// wrap to a huge unsigned bound and silently invert the filter's meaning.
 func (c AnalysisConfig) internal() hotds.Config {
+	minLen, maxLen := c.MinLen, c.MaxLen
+	if minLen < 0 {
+		minLen = 0
+	}
+	if maxLen < 0 {
+		maxLen = 0
+	}
+	minUnique, maxStreams := c.MinUnique, c.MaxStreams
+	if minUnique < 0 {
+		minUnique = 0
+	}
+	if maxStreams < 0 {
+		maxStreams = 0
+	}
+	minCoverage := c.MinCoverage
+	if minCoverage < 0 {
+		minCoverage = 0
+	}
 	return hotds.Config{
-		MinLen:      uint64(c.MinLen),
-		MaxLen:      uint64(c.MaxLen),
-		MinUnique:   c.MinUnique,
-		MinCoverage: c.MinCoverage,
+		MinLen:      uint64(minLen),
+		MaxLen:      uint64(maxLen),
+		MinUnique:   minUnique,
+		MinCoverage: minCoverage,
 		Heat:        c.Heat,
-		MaxStreams:  c.MaxStreams,
+		MaxStreams:  maxStreams,
 	}
 }
 
@@ -126,6 +171,16 @@ func (p *Profile) AddAll(refs []Ref) {
 
 // Len returns the number of references added so far.
 func (p *Profile) Len() uint64 { return p.grammar.Len() }
+
+// Reset discards the profile's grammar and interner contents while retaining
+// their allocated capacity — the paper's end-of-cycle grammar deallocation
+// (§5), which bounds the memory of a long-running profiling loop. Extract
+// hot streams first; they remain valid after the reset because streams carry
+// concrete references, not interned symbols.
+func (p *Profile) Reset() {
+	p.grammar.Reset()
+	p.interner.Reset()
+}
 
 // GrammarSize returns the size of the underlying Sequitur grammar — the
 // quantity hot data stream analysis is linear in.

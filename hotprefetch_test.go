@@ -178,6 +178,52 @@ func TestDefaultAnalysisConfigMatchesPaper(t *testing.T) {
 	}
 }
 
+// TestNegativeConfigClamped regresses the silent uint64 wrap: a negative
+// MinLen/MaxLen used to convert to a huge unsigned bound, inverting the
+// length filter's meaning.
+func TestNegativeConfigClamped(t *testing.T) {
+	c := AnalysisConfig{MinLen: -5, MaxLen: -1, MinUnique: -2, MinCoverage: -0.5, MaxStreams: -3}
+	ic := c.internal()
+	if ic.MinLen != 0 || ic.MaxLen != 0 {
+		t.Errorf("negative length bounds wrapped to MinLen=%d MaxLen=%d, want 0/0", ic.MinLen, ic.MaxLen)
+	}
+	if ic.MinUnique != 0 || ic.MinCoverage != 0 || ic.MaxStreams != 0 {
+		t.Errorf("negative filters not clamped: %+v", ic)
+	}
+
+	// A profile analyzed with a negative-bound config must return nothing
+	// (clamped MaxLen 0 admits no stream) rather than everything.
+	p := NewProfile()
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 12; i++ {
+			p.Add(Ref{PC: i, Addr: uint64(8 * i)})
+		}
+	}
+	if got := p.HotStreams(c); len(got) != 0 {
+		t.Errorf("negative config returned %d streams, want 0", len(got))
+	}
+}
+
+func TestAnalysisConfigValidate(t *testing.T) {
+	if err := DefaultAnalysisConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []AnalysisConfig{
+		{MinLen: -1},
+		{MaxLen: -1},
+		{MinLen: 10, MaxLen: 5},
+		{MinUnique: -1},
+		{MinCoverage: -0.1},
+		{MinCoverage: 1.5},
+		{MaxStreams: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d (%+v) validated, want error", i, c)
+		}
+	}
+}
+
 func TestBenchmarksList(t *testing.T) {
 	names := Benchmarks()
 	want := []string{"vpr", "mcf", "twolf", "parser", "vortex", "boxsim"}

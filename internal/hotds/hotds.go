@@ -14,9 +14,8 @@
 package hotds
 
 import (
-	"fmt"
+	"encoding/binary"
 	"sort"
-	"strings"
 
 	"hotprefetch/internal/sequitur"
 )
@@ -224,18 +223,19 @@ func mergeIdenticalWords(streams []StreamInfo) []StreamInfo {
 	}
 	index := make(map[string]int, len(streams))
 	out := streams[:0]
-	var key strings.Builder
+	var key []byte
 	for _, s := range streams {
-		key.Reset()
+		// Fixed-width binary key: no separator discipline to get wrong, no
+		// formatting allocations.
+		key = key[:0]
 		for _, v := range s.Word {
-			fmt.Fprintf(&key, "%x,", v)
+			key = binary.LittleEndian.AppendUint64(key, v)
 		}
-		k := key.String()
-		if i, ok := index[k]; ok {
+		if i, ok := index[string(key)]; ok {
 			out[i].Heat += s.Heat
 			continue
 		}
-		index[k] = len(out)
+		index[string(key)] = len(out)
 		out = append(out, s)
 	}
 	return out

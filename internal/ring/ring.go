@@ -45,9 +45,22 @@ func New[T any](capacity int) *SPSC[T] {
 // Cap returns the ring's capacity.
 func (q *SPSC[T]) Cap() int { return len(q.buf) }
 
-// Len returns the number of queued elements (approximate under concurrency).
+// Len returns the number of queued elements. It may be called from either
+// side (or a third observer) and is approximate under concurrency, but is
+// always within [0, Cap]: head is snapshotted before tail, so a pop racing
+// between the two loads can only make the difference smaller than the true
+// occupancy, never negative, and a racing push can only overshoot up to Cap.
 func (q *SPSC[T]) Len() int {
-	return int(q.tail.Load() - q.head.Load())
+	h := q.head.Load()
+	t := q.tail.Load()
+	// tail only grows, and head <= tail held when h was read, so t >= h and
+	// the subtraction cannot underflow. Pushes landing between the two loads
+	// can still inflate the difference past the capacity; clamp.
+	n := t - h
+	if n > uint64(len(q.buf)) {
+		n = uint64(len(q.buf))
+	}
+	return int(n)
 }
 
 // TryPush enqueues v, reporting false if the ring is full. Producer side

@@ -81,6 +81,71 @@ func TestConcurrentTransfer(t *testing.T) {
 	}
 }
 
+func TestLenCounts(t *testing.T) {
+	q := New[int](8)
+	if q.Len() != 0 {
+		t.Fatalf("empty Len = %d, want 0", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		q.TryPush(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	q.TryPop()
+	q.TryPop()
+	if q.Len() != 3 {
+		t.Fatalf("Len after pops = %d, want 3", q.Len())
+	}
+}
+
+// TestLenBoundsUnderRace regresses the Len bug where tail was loaded before
+// head: a pop completing between the two loads made tail-head wrap negative
+// (reported as a huge positive int after conversion). An observer goroutine
+// samples Len while a producer and consumer churn the ring; every sample
+// must land in [0, Cap].
+func TestLenBoundsUnderRace(t *testing.T) {
+	n := uint64(50000)
+	if testing.Short() {
+		n = 5000
+	}
+	q := New[uint64](4)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; i++ {
+			q.Push(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for got := uint64(0); got < n; {
+			if _, ok := q.TryPop(); ok {
+				got++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if l := q.Len(); l < 0 || l > q.Cap() {
+			t.Fatalf("Len = %d, outside [0, %d]", l, q.Cap())
+		}
+		runtime.Gosched()
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	q := New[uint64](1024)
 	b.ReportAllocs()

@@ -125,6 +125,13 @@ func (t *digramTable) delOwned(k0, k1 uint64, sym uint32) {
 	t.n--
 }
 
+// reset empties the table, retaining its allocated capacity so a recycled
+// grammar's first appends stay allocation-free.
+func (t *digramTable) reset() {
+	clear(t.entries)
+	t.n = 0
+}
+
 func (t *digramTable) grow() {
 	newCap := 64
 	if len(t.entries) > 0 {

@@ -58,6 +58,24 @@ func (g *Grammar) NumRules() int { return g.ruleCount }
 // grammar size that the hot-data-stream analysis is linear in.
 func (g *Grammar) Size() int { return g.symbols }
 
+// Reset returns the grammar to its empty state while retaining the slab
+// arena, freelist, and digram-table capacity already allocated. This is the
+// paper's end-of-cycle grammar deallocation (§5: "the Sequitur grammar ...
+// [is] deallocated at the end of each cycle" so long-running profiling has a
+// bounded footprint), adapted to a recycling arena: the next profiling cycle
+// re-fills the same storage instead of allocating afresh.
+func (g *Grammar) Reset() {
+	g.used = 0
+	g.freeSyms = g.freeSyms[:0]
+	g.rules = g.rules[:0]
+	g.freeRules = g.freeRules[:0]
+	g.digrams.reset()
+	g.length = 0
+	g.symbols = 0
+	g.ruleCount = 0
+	g.start = g.newRule()
+}
+
 // Append adds one terminal to the end of the input string, restoring the
 // grammar invariants.
 func (g *Grammar) Append(v uint64) {

@@ -263,6 +263,66 @@ func TestPropertyCompressionOnRepeats(t *testing.T) {
 	}
 }
 
+// TestResetEquivalentToFresh checks that a reset grammar is indistinguishable
+// from a newly constructed one: same productions, sizes, and invariants after
+// re-appending an arbitrary input.
+func TestResetEquivalentToFresh(t *testing.T) {
+	inputs := []string{
+		"abaabcabcabcabc", // paper Figure 4
+		"aaaaaaaa",        // overlapping digrams
+		"abcdefg",         // no compression
+		"",
+	}
+	g := New()
+	for _, first := range inputs {
+		for _, second := range inputs {
+			// Dirty the grammar with one input, reset, rebuild with another.
+			for _, c := range first {
+				g.Append(uint64(c - 'a'))
+			}
+			g.Reset()
+			if g.Len() != 0 || g.Size() != 0 || g.NumRules() != 1 {
+				t.Fatalf("after Reset: Len=%d Size=%d NumRules=%d, want 0/0/1",
+					g.Len(), g.Size(), g.NumRules())
+			}
+			for _, c := range second {
+				g.Append(uint64(c - 'a'))
+			}
+			fresh := fromString(second)
+			got, want := g.Snapshot(), fresh.Snapshot()
+			if gs, ws := got.String(), want.String(); gs != ws {
+				t.Fatalf("reset grammar diverges from fresh on %q after %q:\n got:\n%s\nwant:\n%s",
+					second, first, gs, ws)
+			}
+			if second != "" {
+				checkInvariants(t, got, second)
+			}
+			g.Reset()
+		}
+	}
+}
+
+// TestResetRetainsCapacity checks that recycling does not allocate: after one
+// fill/reset cycle warms the arena and tables, further cycles over the same
+// input are allocation-free.
+func TestResetRetainsCapacity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	input := make([]uint64, 4096)
+	for i := range input {
+		input[i] = uint64(r.Intn(64))
+	}
+	g := New()
+	g.AppendAll(input)
+	g.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		g.AppendAll(input)
+		g.Reset()
+	})
+	if allocs > 0 {
+		t.Errorf("fill/reset cycle allocated %.1f times, want 0", allocs)
+	}
+}
+
 func BenchmarkAppendRandom(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	vals := make([]uint64, b.N)

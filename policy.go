@@ -1,0 +1,169 @@
+package hotprefetch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// IngestPolicy selects how a ProfileShard behaves when its ring buffer is
+// full — the back-pressure contract between a profiled workload and the
+// profiling service. The paper's profiling is sampling-based by design
+// (bursty tracing captures ~0.5% of references, §2.2), so shedding load
+// under pressure degrades accuracy gracefully rather than correctness.
+type IngestPolicy int
+
+const (
+	// Block makes Add spin (with scheduler yields) until ring space frees
+	// up. No reference is ever lost, at the cost of stalling the producer —
+	// appropriate for offline trace ingestion where completeness matters.
+	Block IngestPolicy = iota
+
+	// Drop makes Add shed the reference immediately when the ring is full,
+	// counting it in the shard's dropped total. The producer never stalls —
+	// appropriate for live workloads where profiling must stay off the
+	// critical path.
+	Drop
+
+	// Sample degrades to 1-in-SampleInterval acceptance under sustained
+	// pressure: the first full-ring rejection switches the shard into
+	// degraded mode, where only every SampleInterval-th reference is even
+	// attempted; the shard leaves degraded mode once a push succeeds with
+	// the ring at most half full. Sheds load like Drop but keeps a uniform
+	// sample flowing, which Sequitur can still compress into the hottest
+	// streams.
+	Sample
+)
+
+// String returns the policy name used by flags and stats output.
+func (p IngestPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Drop:
+		return "drop"
+	case Sample:
+		return "sample"
+	default:
+		return fmt.Sprintf("IngestPolicy(%d)", int(p))
+	}
+}
+
+// ParseIngestPolicy converts a policy name ("block", "drop", "sample") to
+// its IngestPolicy.
+func ParseIngestPolicy(s string) (IngestPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop":
+		return Drop, nil
+	case "sample":
+		return Sample, nil
+	default:
+		return 0, fmt.Errorf("hotprefetch: unknown ingest policy %q (want block, drop, or sample)", s)
+	}
+}
+
+// ErrClosed is returned by ProfileShard.Add and AddAll after the profile has
+// been closed. Previously a blocked Add would spin forever against stopped
+// consumers; now it fails fast.
+var ErrClosed = errors.New("hotprefetch: Add on closed ShardedProfile")
+
+// ErrFlushStalled is returned (wrapped) by ShardedProfile.Flush when a
+// shard's consumer stops making progress before reaching Flush's target.
+var ErrFlushStalled = errors.New("hotprefetch: flush stalled")
+
+// Defaults applied by ShardedConfig.withDefaults.
+const (
+	defaultRingCap           = 1 << 12
+	defaultSampleInterval    = 16
+	defaultFlushStallTimeout = 5 * time.Second
+)
+
+// ShardedConfig configures a ShardedProfile beyond the shard count. The zero
+// value (aside from Shards) reproduces NewShardedProfile's behavior: Block
+// policy, 4096-slot rings, no grammar budget.
+type ShardedConfig struct {
+	// Shards is the number of independent profile shards (< 1 is treated
+	// as 1).
+	Shards int
+
+	// Policy selects the full-ring behavior of Add. See IngestPolicy.
+	Policy IngestPolicy
+
+	// SampleInterval is the 1-in-N acceptance rate the Sample policy
+	// degrades to under pressure (0 means the default of 16; meaningless
+	// for other policies).
+	SampleInterval int
+
+	// RingCap is the per-shard ring capacity, rounded up to a power of two
+	// (0 means the default of 4096).
+	RingCap int
+
+	// MaxGrammarSymbols, when positive, bounds each shard's Sequitur
+	// grammar: a shard whose grammar reaches the budget extracts its hot
+	// streams (using CycleAnalysis), retains them, and resets the grammar —
+	// the paper's profile/optimize/hibernate cycle-end deallocation (§5)
+	// turned into a hard per-shard memory ceiling for long-running
+	// services. Zero means the grammar grows without bound.
+	MaxGrammarSymbols int
+
+	// CycleAnalysis is the analysis configuration used to extract hot
+	// streams at each grammar reset. Its MaxStreams also caps the retained
+	// stream set per shard. The zero value means DefaultAnalysisConfig.
+	CycleAnalysis AnalysisConfig
+
+	// FlushStallTimeout bounds how long Flush waits for a shard's consumer
+	// without observing progress before giving up with ErrFlushStalled
+	// (0 means the default of 5s).
+	FlushStallTimeout time.Duration
+}
+
+// withDefaults returns the configuration with zero fields replaced by their
+// defaults.
+func (c ShardedConfig) withDefaults() ShardedConfig {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = defaultSampleInterval
+	}
+	if c.RingCap == 0 {
+		c.RingCap = defaultRingCap
+	}
+	if c.CycleAnalysis == (AnalysisConfig{}) {
+		c.CycleAnalysis = DefaultAnalysisConfig()
+	}
+	if c.FlushStallTimeout == 0 {
+		c.FlushStallTimeout = defaultFlushStallTimeout
+	}
+	return c
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c ShardedConfig) Validate() error {
+	switch c.Policy {
+	case Block, Drop, Sample:
+	default:
+		return fmt.Errorf("hotprefetch: unknown ingest policy %d", int(c.Policy))
+	}
+	if c.SampleInterval < 0 {
+		return fmt.Errorf("hotprefetch: negative SampleInterval %d", c.SampleInterval)
+	}
+	if c.RingCap < 0 {
+		return fmt.Errorf("hotprefetch: negative RingCap %d", c.RingCap)
+	}
+	if c.MaxGrammarSymbols < 0 {
+		return fmt.Errorf("hotprefetch: negative MaxGrammarSymbols %d", c.MaxGrammarSymbols)
+	}
+	if c.MaxGrammarSymbols > 0 && c.MaxGrammarSymbols < 16 {
+		return fmt.Errorf("hotprefetch: MaxGrammarSymbols %d too small to hold any stream (minimum 16)", c.MaxGrammarSymbols)
+	}
+	if c.FlushStallTimeout < 0 {
+		return fmt.Errorf("hotprefetch: negative FlushStallTimeout %v", c.FlushStallTimeout)
+	}
+	if err := c.CycleAnalysis.Validate(); err != nil {
+		return fmt.Errorf("CycleAnalysis: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,447 @@
+package hotprefetch
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rawShard builds a single shard whose consumer is NOT running, so the
+// producer-side policy state machine can be exercised deterministically
+// against a ring that never drains.
+func rawShard(t *testing.T, cfg ShardedConfig) *ProfileShard {
+	t.Helper()
+	cfg.Shards = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return newShardedProfile(cfg).shards[0]
+}
+
+func TestAddAfterCloseReturnsError(t *testing.T) {
+	for _, policy := range []IngestPolicy{Block, Drop, Sample} {
+		t.Run(policy.String(), func(t *testing.T) {
+			sp, err := NewShardedProfileConfig(ShardedConfig{Shards: 2, Policy: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sp.Shard(0).Add(Ref{PC: 1, Addr: 2}); err != nil {
+				t.Fatalf("Add before Close: %v", err)
+			}
+			sp.Close()
+			if err := sp.Shard(0).Add(Ref{PC: 1, Addr: 2}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Add after Close = %v, want ErrClosed", err)
+			}
+			if err := sp.Shard(1).AddAll([]Ref{{PC: 1, Addr: 2}}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("AddAll after Close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestAddRacingClose hammers Add from per-shard producers while Close lands:
+// no Add may spin forever, and every accepted reference must be accounted
+// for. Run under -race this also validates the close/consume edges.
+func TestAddRacingClose(t *testing.T) {
+	for _, policy := range []IngestPolicy{Block, Drop, Sample} {
+		t.Run(policy.String(), func(t *testing.T) {
+			sp, err := NewShardedProfileConfig(ShardedConfig{
+				Shards: 2, Policy: policy, RingCap: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < sp.NumShards(); i++ {
+				wg.Add(1)
+				go func(s *ProfileShard) {
+					defer wg.Done()
+					r := Ref{PC: 7, Addr: 7}
+					for {
+						if err := s.Add(r); errors.Is(err, ErrClosed) {
+							return
+						}
+					}
+				}(sp.Shard(i))
+			}
+			time.Sleep(5 * time.Millisecond)
+			sp.Close() // must unblock all producers
+			wg.Wait()
+			st := sp.Stats()
+			// Close drains; anything accepted before the close cut must have
+			// been consumed. (A push that raced the final drain may remain
+			// in-flight, so allow consumed <= pushed but require near-total
+			// drainage only when they match — the invariant that must always
+			// hold is consumed never exceeds pushed.)
+			if st.Consumed > st.Pushed {
+				t.Fatalf("consumed %d > pushed %d", st.Consumed, st.Pushed)
+			}
+		})
+	}
+}
+
+func TestDropPolicyDeterministicAccounting(t *testing.T) {
+	s := rawShard(t, ShardedConfig{Policy: Drop, RingCap: 4})
+	const attempts = 1000
+	for i := 0; i < attempts; i++ {
+		if err := s.Add(Ref{PC: i, Addr: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pushed, dropped := s.pushed.Load(), s.dropped.Load()
+	if pushed != 4 {
+		t.Errorf("pushed = %d, want 4 (ring capacity, consumer never drains)", pushed)
+	}
+	if pushed+dropped != attempts {
+		t.Errorf("pushed %d + dropped %d != attempts %d", pushed, dropped, attempts)
+	}
+}
+
+// TestDropPolicyStressAccounting checks drop counts stay exact while a live
+// consumer races the producer: every attempt is either pushed or dropped,
+// and after Close everything pushed has been consumed.
+func TestDropPolicyStressAccounting(t *testing.T) {
+	attempts := 200000
+	if testing.Short() {
+		attempts = 20000
+	}
+	sp, err := NewShardedProfileConfig(ShardedConfig{Shards: 1, Policy: Drop, RingCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sp.Shard(0)
+	for i := 0; i < attempts; i++ {
+		if err := s.Add(Ref{PC: i % 64, Addr: uint64(i % 256)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp.Close()
+	pushed, dropped, consumed := s.pushed.Load(), s.dropped.Load(), s.consumed.Load()
+	if pushed+dropped != uint64(attempts) {
+		t.Errorf("pushed %d + dropped %d != attempts %d", pushed, dropped, attempts)
+	}
+	if consumed != pushed {
+		t.Errorf("consumed %d != pushed %d after Close", consumed, pushed)
+	}
+	if sp.Len() != pushed {
+		t.Errorf("Len = %d, want %d", sp.Len(), pushed)
+	}
+}
+
+func TestSamplePolicyDegradation(t *testing.T) {
+	const n = 4
+	s := rawShard(t, ShardedConfig{Policy: Sample, RingCap: 4, SampleInterval: n})
+	add := func() {
+		t.Helper()
+		if err := s.Add(Ref{PC: 1, Addr: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ring fills at full acceptance.
+	for i := 0; i < 4; i++ {
+		add()
+	}
+	if got := s.pushed.Load(); got != 4 {
+		t.Fatalf("pushed = %d, want 4", got)
+	}
+	// First rejection: dropped, and the shard degrades.
+	add()
+	if got := s.dropped.Load(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	if !s.degraded {
+		t.Fatal("shard should be degraded after a full-ring rejection")
+	}
+	// Degraded: only every n-th reference is attempted; the rest are
+	// sampled out without touching the ring.
+	for i := 0; i < 2*n; i++ {
+		add()
+	}
+	if got := s.sampledOut.Load(); got != 2*(n-1) {
+		t.Errorf("sampled = %d, want %d", got, 2*(n-1))
+	}
+	if got := s.dropped.Load(); got != 3 {
+		t.Errorf("dropped = %d, want 3 (initial + one per degraded attempt)", got)
+	}
+	if got := s.pushed.Load(); got != 4 {
+		t.Errorf("pushed = %d, want 4 (ring still full)", got)
+	}
+	// Drain below half capacity; the next attempted push succeeds and the
+	// shard recovers to full acceptance.
+	var buf [3]Ref
+	s.q.PopBatch(buf[:])
+	for i := 0; i < n; i++ {
+		add()
+	}
+	if s.degraded {
+		t.Error("shard should have recovered after the backlog receded")
+	}
+	if got := s.pushed.Load(); got != 5 {
+		t.Errorf("pushed = %d, want 5 after recovery push", got)
+	}
+}
+
+// TestGrammarBudgetCycling is the bounded-memory acceptance run: a shard
+// with MaxGrammarSymbols set must keep its peak grammar size at or under
+// the budget across a 10M-reference synthetic trace while still detecting
+// the planted hot stream across cycle resets.
+func TestGrammarBudgetCycling(t *testing.T) {
+	total := 10_000_000
+	if testing.Short() {
+		total = 500_000
+	}
+	const budget = 2048
+	cycleCfg := AnalysisConfig{MinLen: 10, MaxLen: 100, MinUnique: 10, MinCoverage: 0.01, MaxStreams: 100}
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            1,
+		MaxGrammarSymbols: budget,
+		CycleAnalysis:     cycleCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sp.Shard(0)
+
+	// Planted hot stream: 12 fixed references, separated by unique noise so
+	// the grammar keeps growing and must cycle.
+	stream := make([]Ref, 12)
+	for i := range stream {
+		stream[i] = Ref{PC: 100 + i, Addr: uint64(0x1000 + 8*i)}
+	}
+	added := 0
+	for noise := 0; added < total; noise++ {
+		for _, r := range stream {
+			s.Add(r)
+		}
+		s.Add(Ref{PC: 500000 + noise, Addr: uint64(noise)})
+		added += len(stream) + 1
+	}
+	if err := sp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := sp.Stats()
+	if st.Resets == 0 {
+		t.Fatalf("no grammar resets across %d references with budget %d", added, budget)
+	}
+	if peak := st.Shards[0].PeakGrammarSize; peak > budget {
+		t.Errorf("peak grammar size %d exceeds budget %d", peak, budget)
+	}
+	if st.GrammarSize > budget {
+		t.Errorf("live grammar size %d exceeds budget %d", st.GrammarSize, budget)
+	}
+	if st.Consumed != uint64(added) {
+		t.Errorf("consumed %d, want %d", st.Consumed, added)
+	}
+
+	streams := sp.HotStreams(AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.001, MaxStreams: 100})
+	found := false
+	for _, hs := range streams {
+		for _, r := range hs.Refs {
+			if r == stream[0] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("planted hot stream not detected across %d cycle resets", st.Resets)
+	}
+	sp.Close()
+}
+
+// TestGrammarResetRacesObservers cycles the grammar continuously while other
+// goroutines snapshot Stats — run under -race this validates that cycling,
+// counter reads, and retained-stream access are properly synchronized.
+func TestGrammarResetRacesObservers(t *testing.T) {
+	total := 300000
+	if testing.Short() {
+		total = 50000
+	}
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            1,
+		MaxGrammarSymbols: 256,
+		CycleAnalysis:     AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.05, MaxStreams: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = sp.Stats().String()
+			}
+		}
+	}()
+	s := sp.Shard(0)
+	for i := 0; i < total; i++ {
+		// Alternate a short repeating motif with unique noise so the
+		// grammar both compresses and keeps growing toward the budget.
+		if i%3 == 0 {
+			s.Add(Ref{PC: i, Addr: uint64(i)})
+		} else {
+			s.Add(Ref{PC: i % 4, Addr: uint64(i % 8)})
+		}
+	}
+	if err := sp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if st := sp.Stats(); st.Resets == 0 {
+		t.Error("expected at least one grammar reset")
+	}
+	sp.Close()
+}
+
+// TestFlushBoundedUnderActiveProducers regresses the Flush livelock: with
+// producers continuously refilling the rings, Flush used to chase the
+// pushed counter forever. Now it snapshots its target on entry and must
+// return promptly.
+func TestFlushBoundedUnderActiveProducers(t *testing.T) {
+	sp, err := NewShardedProfileConfig(ShardedConfig{Shards: 2, RingCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < sp.NumShards(); i++ {
+		wg.Add(1)
+		go func(s *ProfileShard) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Add(Ref{PC: j % 32, Addr: uint64(j % 64)})
+				}
+			}
+		}(sp.Shard(i))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 20; i++ {
+		if err := sp.Flush(); err != nil {
+			t.Fatalf("Flush %d: %v", i, err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Flush calls did not complete promptly under active producers")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	sp.Close()
+}
+
+// TestFlushStalledConsumer checks the bounded-wait error path: a shard whose
+// consumer never runs cannot drain, so Flush must give up with
+// ErrFlushStalled instead of spinning forever.
+func TestFlushStalledConsumer(t *testing.T) {
+	cfg := ShardedConfig{Shards: 1, FlushStallTimeout: 20 * time.Millisecond}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sp := newShardedProfile(cfg) // consumers intentionally not started
+	sp.Shard(0).Add(Ref{PC: 1, Addr: 1})
+	start := time.Now()
+	err := sp.Flush()
+	if !errors.Is(err, ErrFlushStalled) {
+		t.Fatalf("Flush = %v, want ErrFlushStalled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Flush took %v to give up, want bounded by the stall timeout", elapsed)
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	sp, err := NewShardedProfileConfig(ShardedConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	trace := shardTrace(1, 100)
+	if err := sp.Shard(0).AddAll(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	streams := sp.HotStreams(AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.1})
+	if len(streams) == 0 {
+		t.Fatal("no hot streams")
+	}
+	cm, err := NewConcurrentMatcher(streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.AttachMatcher(cm)
+	for _, r := range trace[:100] {
+		cm.Observe(r)
+	}
+
+	st := sp.Stats()
+	if st.Pushed != uint64(len(trace)) || st.Consumed != uint64(len(trace)) {
+		t.Errorf("pushed/consumed = %d/%d, want %d", st.Pushed, st.Consumed, len(trace))
+	}
+	if st.MergeCount == 0 {
+		t.Error("merge count not recorded")
+	}
+	if st.MatcherObservations != 100 {
+		t.Errorf("matcher observations = %d, want 100", st.MatcherObservations)
+	}
+	if st.Shards[1].Pushed != 0 {
+		t.Errorf("idle shard pushed = %d, want 0", st.Shards[1].Pushed)
+	}
+
+	// expvar compatibility: String() is the JSON encoding and it round-trips.
+	var back Stats
+	if err := json.Unmarshal([]byte(st.String()), &back); err != nil {
+		t.Fatalf("Stats.String() is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Errorf("Stats JSON round-trip diverged:\n got %+v\nwant %+v", back, st)
+	}
+}
+
+func TestShardedConfigValidate(t *testing.T) {
+	bad := []ShardedConfig{
+		{Policy: IngestPolicy(42)},
+		{SampleInterval: -1},
+		{RingCap: -4},
+		{MaxGrammarSymbols: -1},
+		{MaxGrammarSymbols: 4},
+		{FlushStallTimeout: -time.Second},
+		{CycleAnalysis: AnalysisConfig{MinLen: -1}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewShardedProfileConfig(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted, want error", i, cfg)
+		}
+	}
+	sp, err := NewShardedProfileConfig(ShardedConfig{})
+	if err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	sp.Close()
+}
+
+func TestParseIngestPolicy(t *testing.T) {
+	for _, p := range []IngestPolicy{Block, Drop, Sample} {
+		got, err := ParseIngestPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseIngestPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseIngestPolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

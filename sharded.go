@@ -1,12 +1,13 @@
 package hotprefetch
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hotprefetch/internal/ring"
 )
@@ -27,44 +28,99 @@ import (
 // trace across shards splits its regularity and weakens detection. With one
 // producer per logical trace and NumShards == 1 the result is identical to
 // feeding a single Profile.
+//
+// The service-facing robustness knobs live in ShardedConfig: an ingestion
+// policy for full-ring back-pressure (Block, Drop, Sample), a per-shard
+// grammar memory budget with automatic phase cycling, and a Stats snapshot
+// for monitoring.
 type ShardedProfile struct {
 	shards []*ProfileShard
+	cfg    ShardedConfig
 	closed atomic.Bool
+
+	mergeCount atomic.Uint64 // HotStreams merge passes
+	mergeNanos atomic.Uint64 // cumulative time spent merging
+	matcher    atomic.Pointer[ConcurrentMatcher]
 }
 
 // ProfileShard is one shard's producer handle. Each shard accepts references
 // from at most one goroutine at a time (the single-producer half of the SPSC
 // contract); distinct shards are fully independent.
 type ProfileShard struct {
-	q        *ring.SPSC[Ref]
-	p        *Profile
-	pushed   atomic.Uint64 // references accepted by Add
-	consumed atomic.Uint64 // references applied to p
-	stop     chan struct{}
-	done     chan struct{}
+	q *ring.SPSC[Ref]
+	p *Profile
+
+	policy     IngestPolicy
+	sampleN    int
+	maxSymbols int
+	cycleCfg   AnalysisConfig
+
+	closed     atomic.Bool
+	pushed     atomic.Uint64 // references accepted by Add
+	consumed   atomic.Uint64 // references applied to p
+	dropped    atomic.Uint64 // references shed on a full ring (Drop/Sample)
+	sampledOut atomic.Uint64 // references skipped by Sample degradation
+	resets     atomic.Uint64 // grammar budget cycles completed
+
+	grammarSize atomic.Uint64 // p's grammar size as of the last batch
+	peakGrammar atomic.Uint64 // high-water mark of the grammar size
+
+	// Producer-local Sample state: guarded by the single-producer contract,
+	// never touched by the consumer.
+	degraded bool
+	skip     int
+
+	mu       sync.Mutex // guards retained
+	retained []Stream   // hot streams extracted at grammar resets
+
+	stop chan struct{}
+	done chan struct{}
 }
 
-// shardRingCap bounds the per-shard backlog; large enough to ride out
-// consumer scheduling hiccups, small enough to keep memory per shard modest.
-const shardRingCap = 1 << 12
-
-// NewShardedProfile returns a profile with n shards (n < 1 is treated as 1),
-// spawning one consumer goroutine per shard. Call Close to stop the
-// consumers when the profile is no longer needed.
+// NewShardedProfile returns a profile with n shards (n < 1 is treated as 1)
+// using the default configuration: Block ingestion, 4096-slot rings, no
+// grammar budget. Call Close to stop the consumers when the profile is no
+// longer needed.
 func NewShardedProfile(n int) *ShardedProfile {
-	if n < 1 {
-		n = 1
+	sp, err := NewShardedProfileConfig(ShardedConfig{Shards: n})
+	if err != nil {
+		// The zero config is always valid; only Shards varies and it is
+		// clamped.
+		panic(err)
 	}
-	sp := &ShardedProfile{shards: make([]*ProfileShard, n)}
-	for i := range sp.shards {
-		s := &ProfileShard{
-			q:    ring.New[Ref](shardRingCap),
-			p:    NewProfile(),
-			stop: make(chan struct{}),
-			done: make(chan struct{}),
-		}
-		sp.shards[i] = s
+	return sp
+}
+
+// NewShardedProfileConfig returns a profile configured by cfg, spawning one
+// consumer goroutine per shard. Call Close to stop the consumers when the
+// profile is no longer needed.
+func NewShardedProfileConfig(cfg ShardedConfig) (*ShardedProfile, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sp := newShardedProfile(cfg)
+	for _, s := range sp.shards {
 		go s.consume()
+	}
+	return sp, nil
+}
+
+// newShardedProfile builds the shard set without starting consumers; tests
+// use it to exercise producer-side policies deterministically.
+func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
+	cfg = cfg.withDefaults()
+	sp := &ShardedProfile{shards: make([]*ProfileShard, cfg.Shards), cfg: cfg}
+	for i := range sp.shards {
+		sp.shards[i] = &ProfileShard{
+			q:          ring.New[Ref](cfg.RingCap),
+			p:          NewProfile(),
+			policy:     cfg.Policy,
+			sampleN:    cfg.SampleInterval,
+			maxSymbols: cfg.MaxGrammarSymbols,
+			cycleCfg:   cfg.CycleAnalysis,
+			stop:       make(chan struct{}),
+			done:       make(chan struct{}),
+		}
 	}
 	return sp
 }
@@ -96,29 +152,110 @@ func (s *ProfileShard) consume() {
 }
 
 func (s *ProfileShard) apply(refs []Ref) {
+	peak := int(s.peakGrammar.Load())
 	for _, r := range refs {
 		s.p.Add(r)
+		sz := s.p.GrammarSize()
+		if sz > peak {
+			peak = sz
+		}
+		// Grammar budget: at the ceiling, bank this cycle's hot streams and
+		// recycle the grammar (paper §5's cycle-end deallocation). Checked
+		// per reference because a batch can overshoot the budget by its
+		// whole length; a single Add grows the grammar by at most one
+		// symbol, so the peak never exceeds the budget itself.
+		if s.maxSymbols > 0 && sz >= s.maxSymbols {
+			s.cycle()
+		}
 	}
+	s.grammarSize.Store(uint64(s.p.GrammarSize()))
+	s.peakGrammar.Store(uint64(peak))
 	s.consumed.Add(uint64(len(refs)))
 }
 
-// Add appends one data reference to the shard, blocking (spinning with
-// scheduler yields) while the shard's ring is full.
-func (s *ProfileShard) Add(r Ref) {
-	s.q.Push(r)
-	s.pushed.Add(1)
-}
-
-// AddAll appends each reference in order.
-func (s *ProfileShard) AddAll(refs []Ref) {
-	for _, r := range refs {
-		s.Add(r)
+// cycle extracts the current grammar's hot streams into the retained set and
+// resets the grammar and interner, recycling their storage. Runs on the
+// consumer goroutine, which owns s.p.
+func (s *ProfileShard) cycle() {
+	streams := s.p.HotStreams(s.cycleCfg)
+	s.p.Reset()
+	s.resets.Add(1)
+	if len(streams) == 0 {
+		return
 	}
+	s.mu.Lock()
+	s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
+	s.mu.Unlock()
 }
 
-// drained reports whether every accepted reference has been applied.
-func (s *ProfileShard) drained() bool {
-	return s.consumed.Load() == s.pushed.Load()
+// retainedStreams returns a copy of the streams banked by grammar cycles.
+func (s *ProfileShard) retainedStreams() []Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stream, len(s.retained))
+	copy(out, s.retained)
+	return out
+}
+
+// Add appends one data reference to the shard. When the shard's ring is full
+// the configured IngestPolicy decides whether Add waits (Block), sheds the
+// reference (Drop), or degrades to sampled acceptance (Sample); shed
+// references are counted in Stats, never silently lost from the books.
+//
+// Add returns ErrClosed once the profile has been closed — including for a
+// Block Add already spinning against a full ring when Close lands, which
+// previously span forever against stopped consumers.
+func (s *ProfileShard) Add(r Ref) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	switch s.policy {
+	case Drop:
+		if !s.q.TryPush(r) {
+			s.dropped.Add(1)
+			return nil
+		}
+	case Sample:
+		if s.degraded {
+			s.skip++
+			if s.skip < s.sampleN {
+				s.sampledOut.Add(1)
+				return nil
+			}
+			s.skip = 0
+		}
+		if !s.q.TryPush(r) {
+			s.degraded = true
+			s.skip = 0
+			s.dropped.Add(1)
+			return nil
+		}
+		// Leave degraded mode only once the backlog has visibly receded;
+		// exiting on the first successful push would thrash between full
+		// speed and 1-in-N at the boundary.
+		if s.degraded && s.q.Len() <= s.q.Cap()/2 {
+			s.degraded = false
+		}
+	default: // Block
+		for !s.q.TryPush(r) {
+			if s.closed.Load() {
+				return ErrClosed
+			}
+			runtime.Gosched()
+		}
+	}
+	s.pushed.Add(1)
+	return nil
+}
+
+// AddAll appends each reference in order, stopping at the first error.
+func (s *ProfileShard) AddAll(refs []Ref) error {
+	for _, r := range refs {
+		if err := s.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NumShards returns the number of shards.
@@ -127,34 +264,62 @@ func (sp *ShardedProfile) NumShards() int { return len(sp.shards) }
 // Shard returns producer handle i (0 <= i < NumShards).
 func (sp *ShardedProfile) Shard(i int) *ProfileShard { return sp.shards[i] }
 
-// Flush blocks until every reference accepted by the shards has been
-// compressed into its shard's grammar. Producers should be quiescent;
-// references added concurrently with Flush may or may not be included.
-func (sp *ShardedProfile) Flush() {
-	for _, s := range sp.shards {
-		for !s.drained() {
+// Flush blocks until every reference the shards had accepted at the moment
+// Flush was called has been compressed into its shard's grammar, then
+// returns nil. References accepted while Flush runs may or may not be
+// included — the quiescence contract: only a moment with no active
+// producers gives a complete cut. Because the target is snapshotted up
+// front, concurrent producers keeping the rings full can no longer livelock
+// Flush; and if a consumer stops making progress toward the snapshot for
+// FlushStallTimeout, Flush gives up with an error wrapping ErrFlushStalled
+// instead of spinning forever.
+func (sp *ShardedProfile) Flush() error {
+	for i, s := range sp.shards {
+		target := s.pushed.Load()
+		last := s.consumed.Load()
+		lastProgress := time.Now()
+		for {
+			c := s.consumed.Load()
+			if c >= target {
+				break
+			}
+			if c != last {
+				last, lastProgress = c, time.Now()
+			} else if time.Since(lastProgress) > sp.cfg.FlushStallTimeout {
+				return fmt.Errorf("shard %d consumer stalled at %d/%d references for %v "+
+					"(quiescence contract: Flush only completes the references accepted "+
+					"before it was called, and requires a live consumer to drain them): %w",
+					i, c, target, sp.cfg.FlushStallTimeout, ErrFlushStalled)
+			}
 			runtime.Gosched()
 		}
 	}
+	return nil
 }
 
 // Len returns the total number of references ingested across all shards
-// (flushing first so in-flight references are counted).
+// (flushing first so in-flight references are counted). Shed references
+// (Drop/Sample policies) are not ingested and do not count.
 func (sp *ShardedProfile) Len() uint64 {
 	sp.Flush()
 	var n uint64
 	for _, s := range sp.shards {
-		n += s.p.Len()
+		n += s.consumed.Load()
 	}
 	return n
 }
 
 // Close stops the consumer goroutines after draining in-flight references.
-// The profile remains readable (HotStreams, Len) but Add must not be called
-// after Close. Close is idempotent.
+// The profile remains readable (HotStreams, Len, Stats) but Add returns
+// ErrClosed afterwards. Close is idempotent.
 func (sp *ShardedProfile) Close() {
 	if !sp.closed.CompareAndSwap(false, true) {
 		return
+	}
+	// Fail producers fast first so a Block Add spinning against a full ring
+	// observes the close instead of spinning against a stopped consumer.
+	for _, s := range sp.shards {
+		s.closed.Store(true)
 	}
 	for _, s := range sp.shards {
 		close(s.stop)
@@ -165,20 +330,22 @@ func (sp *ShardedProfile) Close() {
 }
 
 // HotStreams flushes all shards, extracts each shard's hot data streams in
-// parallel, and merges them: identical streams found by several shards are
-// deduplicated with their heats summed (frequency adds across shards, and
-// heat = length × frequency), then the result is re-ranked hottest first
-// and capped at cfg.MaxStreams.
+// parallel, and merges them — together with any streams retained by grammar
+// budget cycles — deduplicating identical streams with their heats summed
+// (frequency adds across shards and cycles, and heat = length × frequency),
+// re-ranked hottest first and capped at cfg.MaxStreams.
 //
 // cfg's coverage threshold applies per shard (each shard knows only its own
 // trace length), so with N > 1 a stream must be hot within at least one
 // shard to be found — route whole logical traces to single shards to keep
-// this faithful.
+// this faithful. Producers should be quiescent, as for Flush.
 func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
 	sp.Flush()
-	perShard := make([][]Stream, len(sp.shards))
+	n := len(sp.shards)
+	perShard := make([][]Stream, 2*n)
 	var wg sync.WaitGroup
 	for i, s := range sp.shards {
+		perShard[n+i] = s.retainedStreams()
 		wg.Add(1)
 		go func(i int, s *ProfileShard) {
 			defer wg.Done()
@@ -186,7 +353,24 @@ func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
 		}(i, s)
 	}
 	wg.Wait()
-	return mergeStreams(perShard, cfg.MaxStreams)
+	start := time.Now()
+	out := mergeStreams(perShard, cfg.MaxStreams)
+	sp.mergeNanos.Add(uint64(time.Since(start)))
+	sp.mergeCount.Add(1)
+	return out
+}
+
+// streamKey appends a collision-safe binary key for st to buf: the reference
+// count followed by fixed-width PC/Addr words. Unlike a formatted-string
+// key, no choice of separator can collide two distinct streams, and the
+// fixed-width encoding costs no formatting allocations.
+func streamKey(buf []byte, st Stream) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(st.Refs)))
+	for _, r := range st.Refs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.PC))
+		buf = binary.LittleEndian.AppendUint64(buf, r.Addr)
+	}
+	return buf
 }
 
 // mergeStreams deduplicates identical streams across shards (summing heat)
@@ -199,21 +383,18 @@ func mergeStreams(perShard [][]Stream, maxStreams int) []Stream {
 	}
 	var (
 		out  []Stream
-		key  strings.Builder
+		key  []byte
 		seen = map[string]*slot{}
 	)
 	for _, streams := range perShard {
 		for _, st := range streams {
-			key.Reset()
-			for _, r := range st.Refs {
-				fmt.Fprintf(&key, "%d:%x;", r.PC, r.Addr)
-			}
-			if sl, ok := seen[key.String()]; ok {
+			key = streamKey(key[:0], st)
+			if sl, ok := seen[string(key)]; ok {
 				sl.heat += st.Heat
 				out[sl.idx].Heat = sl.heat
 				continue
 			}
-			seen[key.String()] = &slot{idx: len(out), heat: st.Heat}
+			seen[string(key)] = &slot{idx: len(out), heat: st.Heat}
 			out = append(out, st)
 		}
 	}

@@ -1,0 +1,126 @@
+package hotprefetch
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// ShardStats is one shard's ingestion and memory counters at a moment in
+// time.
+type ShardStats struct {
+	// Pushed counts references accepted into the shard's ring; Consumed
+	// counts those compressed into the grammar so far. Pushed - Consumed is
+	// the in-flight backlog.
+	Pushed   uint64 `json:"pushed"`
+	Consumed uint64 `json:"consumed"`
+
+	// Dropped counts references shed on a full ring (Drop and Sample
+	// policies); Sampled counts references skipped by Sample degradation
+	// without touching the ring.
+	Dropped uint64 `json:"dropped"`
+	Sampled uint64 `json:"sampled"`
+
+	// Resets counts grammar budget cycles (MaxGrammarSymbols); Retained is
+	// the number of hot streams currently banked by those cycles.
+	Resets   uint64 `json:"resets"`
+	Retained int    `json:"retained"`
+
+	// GrammarSize is the shard grammar's size as of its last consumed
+	// batch; PeakGrammarSize is its high-water mark, which stays at or
+	// under MaxGrammarSymbols when a budget is set.
+	GrammarSize     int `json:"grammar_size"`
+	PeakGrammarSize int `json:"peak_grammar_size"`
+
+	// RingLen and RingCap describe the shard ring's current backlog and
+	// capacity.
+	RingLen int `json:"ring_len"`
+	RingCap int `json:"ring_cap"`
+}
+
+// Stats is a point-in-time snapshot of a ShardedProfile's service counters:
+// per-shard ingestion accounting plus profile-wide totals, merge timings,
+// and the observation count of an attached ConcurrentMatcher. The snapshot
+// is approximate under concurrency (each counter is read atomically, but not
+// all at the same instant).
+//
+// Stats marshals to JSON and its String method returns that JSON, so a
+// ShardedProfile drops straight into an expvar page:
+//
+//	expvar.Publish("hotprefetch", expvar.Func(func() any { return sp.Stats() }))
+type Stats struct {
+	Shards []ShardStats `json:"shards"`
+
+	// Totals across shards.
+	Pushed   uint64 `json:"pushed"`
+	Consumed uint64 `json:"consumed"`
+	Dropped  uint64 `json:"dropped"`
+	Sampled  uint64 `json:"sampled"`
+	Resets   uint64 `json:"resets"`
+
+	// GrammarSize sums the live per-shard grammar sizes.
+	GrammarSize int `json:"grammar_size"`
+
+	// MergeCount and MergeTime account the HotStreams merge passes run so
+	// far and the cumulative wall time they took.
+	MergeCount uint64        `json:"merge_count"`
+	MergeTime  time.Duration `json:"merge_time_ns"`
+
+	// MatcherObservations is the number of references observed by the
+	// ConcurrentMatcher registered with AttachMatcher, if any.
+	MatcherObservations uint64 `json:"matcher_observations"`
+}
+
+// String renders the snapshot as JSON, satisfying expvar.Var.
+func (st Stats) String() string {
+	b, err := json.Marshal(st)
+	if err != nil {
+		// Stats contains only marshalable fields; this cannot happen.
+		return "{}"
+	}
+	return string(b)
+}
+
+// Stats returns a snapshot of the profile's service counters. It does not
+// flush: the snapshot reflects ingestion as it stands, backlog included.
+func (sp *ShardedProfile) Stats() Stats {
+	st := Stats{
+		Shards:     make([]ShardStats, len(sp.shards)),
+		MergeCount: sp.mergeCount.Load(),
+		MergeTime:  time.Duration(sp.mergeNanos.Load()),
+	}
+	for i, s := range sp.shards {
+		s.mu.Lock()
+		retained := len(s.retained)
+		s.mu.Unlock()
+		ss := ShardStats{
+			Pushed:          s.pushed.Load(),
+			Consumed:        s.consumed.Load(),
+			Dropped:         s.dropped.Load(),
+			Sampled:         s.sampledOut.Load(),
+			Resets:          s.resets.Load(),
+			Retained:        retained,
+			GrammarSize:     int(s.grammarSize.Load()),
+			PeakGrammarSize: int(s.peakGrammar.Load()),
+			RingLen:         s.q.Len(),
+			RingCap:         s.q.Cap(),
+		}
+		st.Shards[i] = ss
+		st.Pushed += ss.Pushed
+		st.Consumed += ss.Consumed
+		st.Dropped += ss.Dropped
+		st.Sampled += ss.Sampled
+		st.Resets += ss.Resets
+		st.GrammarSize += ss.GrammarSize
+	}
+	if m := sp.matcher.Load(); m != nil {
+		st.MatcherObservations = m.Observations()
+	}
+	return st
+}
+
+// AttachMatcher registers the ConcurrentMatcher whose observation count
+// Stats should report — typically the matcher serving the streams this
+// profile detected. A nil matcher detaches.
+func (sp *ShardedProfile) AttachMatcher(m *ConcurrentMatcher) {
+	sp.matcher.Store(m)
+}
