@@ -11,6 +11,9 @@
 //	hdsprof -bench mcf -service -membudget 4096 -policy drop
 //	                                       # profile through the sharded
 //	                                       # service and print its stats JSON
+//	hdsprof -bench mcf -service -membudget 4096 -workers 2
+//	                                       # pipeline grammar cycles through a
+//	                                       # background analysis pool
 package main
 
 import (
@@ -73,6 +76,7 @@ func main() {
 	policy := flag.String("policy", "block", "service ingestion policy: block, drop, or sample")
 	sampleN := flag.Int("samplen", 16, "service Sample policy: accept 1 in N under pressure")
 	memBudget := flag.Int("membudget", 0, "service per-shard grammar symbol budget (0 = unbounded)")
+	workers := flag.Int("workers", 0, "service background analysis workers for pipelined grammar cycles (0 = inline)")
 	flag.Parse()
 
 	// The profiling sink: a plain Profile, or — in service mode — one shard
@@ -96,6 +100,7 @@ func main() {
 			Policy:            pol,
 			SampleInterval:    *sampleN,
 			MaxGrammarSymbols: *memBudget,
+			AnalysisWorkers:   *workers,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -193,7 +198,12 @@ func main() {
 	fmt.Printf("grammar size %d symbols\n", grammarSize)
 	fmt.Printf("hot streams  %d\n", len(streams))
 	if *service {
-		fmt.Printf("stats        %s\n", svc.Stats())
+		st := svc.Stats()
+		fmt.Printf("stats        %s\n", st)
+		if *memBudget > 0 {
+			fmt.Printf("pipeline     cycles=%d analysis(last)=%v analysis(max)=%v ingest-stall(max)=%v queue=%d\n",
+				st.CyclesAnalyzed, st.LastAnalysisTime, st.MaxAnalysisTime, st.MaxCycleStall, st.AnalysisQueueDepth)
+		}
 	}
 	fmt.Println()
 

@@ -5,19 +5,27 @@ import (
 	"sync/atomic"
 )
 
-// ConcurrentMatcher is a Matcher safe for use by multiple goroutines. The
-// DFSM transition tables are immutable after construction, so the mutex only
-// guards the single current-state word and the comparison accounting; the
-// common case is a short critical section around an array-indexed Step.
+// ConcurrentMatcher is a Matcher safe for use by multiple goroutines, with
+// lock-free hot swapping of the matched stream set. The DFSM transition
+// tables are immutable after construction, so the mutex only guards the
+// single current-state word; the common case is a short critical section
+// around an array-indexed Step.
+//
+// The current machine is published through an atomic pointer: Swap builds
+// the replacement DFSM entirely off to the side and installs it with one
+// atomic store, so Observe never waits on a retraining build and never sees
+// a torn or half-compiled table — the paper's §5 de-optimize/re-optimize
+// transition without a stop-the-world on the detection path.
 //
 // All callers share one match state — observations interleave into a single
 // logical reference stream, exactly as if one goroutine called Observe with
 // the merged order. To match per-thread streams independently, give each
 // thread its own Matcher instead.
 type ConcurrentMatcher struct {
-	mu       sync.Mutex
-	m        *Matcher
+	mu       sync.Mutex // serializes stepping of the current machine
+	cur      atomic.Pointer[Matcher]
 	observed atomic.Uint64
+	swaps    atomic.Uint64
 }
 
 // NewConcurrentMatcher builds the prefix-matching DFSM for streams (see
@@ -27,36 +35,60 @@ func NewConcurrentMatcher(streams []Stream, headLen int) (*ConcurrentMatcher, er
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentMatcher{m: m}, nil
+	c := &ConcurrentMatcher{}
+	c.cur.Store(m)
+	return c, nil
 }
 
 // Observe consumes one data reference; see Matcher.Observe. The returned
 // prefetch slice aliases the matcher's state tables and must not be
 // mutated.
+//
+// Observe loads the published machine under the step lock: a concurrent
+// Swap either lands before (this reference drives the new machine from its
+// start state) or after (it drove the old machine, whose tables remain
+// valid), but never mid-step.
 func (c *ConcurrentMatcher) Observe(r Ref) (prefetch []uint64, comparisons int) {
 	c.mu.Lock()
-	prefetch, comparisons = c.m.Observe(r)
+	prefetch, comparisons = c.cur.Load().Observe(r)
 	c.mu.Unlock()
 	c.observed.Add(1)
 	return prefetch, comparisons
+}
+
+// Swap retrains the matcher: it builds the DFSM for the new stream set —
+// without holding the step lock, so Observe proceeds against the old
+// machine throughout the build — and atomically publishes it positioned at
+// its start state. On error the current machine is left in place.
+func (c *ConcurrentMatcher) Swap(streams []Stream, headLen int) error {
+	m, err := NewMatcher(streams, headLen)
+	if err != nil {
+		return err
+	}
+	c.cur.Store(m)
+	c.swaps.Add(1)
+	return nil
 }
 
 // Observations returns the number of references observed so far, for service
 // stats (see ShardedProfile.AttachMatcher).
 func (c *ConcurrentMatcher) Observations() uint64 { return c.observed.Load() }
 
+// Swaps returns the number of Swap retrainings published so far.
+func (c *ConcurrentMatcher) Swaps() uint64 { return c.swaps.Load() }
+
 // Reset returns the matcher to its start state (nothing matched).
 func (c *ConcurrentMatcher) Reset() {
 	c.mu.Lock()
-	c.m.Reset()
+	c.cur.Load().Reset()
 	c.mu.Unlock()
 }
 
 // NumStates returns the number of DFSM states, including the start state.
-func (c *ConcurrentMatcher) NumStates() int { return c.m.NumStates() }
+func (c *ConcurrentMatcher) NumStates() int { return c.cur.Load().NumStates() }
 
 // NumTransitions returns the number of explicit DFSM transitions.
-func (c *ConcurrentMatcher) NumTransitions() int { return c.m.NumTransitions() }
+func (c *ConcurrentMatcher) NumTransitions() int { return c.cur.Load().NumTransitions() }
 
 // PCs returns the sorted instruction addresses needing detection code.
-func (c *ConcurrentMatcher) PCs() []int { return c.m.PCs() }
+func (c *ConcurrentMatcher) PCs() []int { return c.cur.Load().PCs() }

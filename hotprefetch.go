@@ -21,6 +21,8 @@ package hotprefetch
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hotprefetch/internal/dfsm"
 	"hotprefetch/internal/hotds"
@@ -162,12 +164,17 @@ func (p *Profile) Add(r Ref) {
 	p.grammar.Append(uint64(sym))
 }
 
-// AddAll appends each reference in order.
-func (p *Profile) AddAll(refs []Ref) {
+// AddBatch appends a burst of references in order — the batch entry point
+// mirroring how bursty tracing delivers references in bursts rather than
+// singletons (§2.2).
+func (p *Profile) AddBatch(refs []Ref) {
 	for _, r := range refs {
 		p.Add(r)
 	}
 }
+
+// AddAll appends each reference in order.
+func (p *Profile) AddAll(refs []Ref) { p.AddBatch(refs) }
 
 // Len returns the number of references added so far.
 func (p *Profile) Len() uint64 { return p.grammar.Len() }
@@ -186,21 +193,55 @@ func (p *Profile) Reset() {
 // quantity hot data stream analysis is linear in.
 func (p *Profile) GrammarSize() int { return p.grammar.Size() }
 
-// HotStreams extracts the profile's hot data streams using the paper's fast
-// approximation algorithm (Figure 5), hottest first. The profile can
-// continue to grow afterwards.
-func (p *Profile) HotStreams(cfg AnalysisConfig) []Stream {
-	infos := hotds.Analyze(p.grammar.Snapshot(), cfg.internal())
-	return p.toStreams(infos)
+// Snapshot is a point-in-time view of a profile's grammar for analysis.
+// An optimize pass that wants both the fast and the precise detector on the
+// same profile takes one Snapshot and runs both detectors on it, instead of
+// re-walking the grammar per detector as the profile-level entry points do.
+//
+// A snapshot stays valid while the profile grows, but not across
+// Profile.Reset: streams are resolved through the profile's interner, which
+// Reset recycles.
+type Snapshot struct {
+	p    *Profile
+	snap *sequitur.Snapshot
+}
+
+// Snapshot captures the profile's grammar once for repeated analysis.
+func (p *Profile) Snapshot() *Snapshot {
+	return &Snapshot{p: p, snap: p.grammar.Snapshot()}
+}
+
+// Len returns the number of references the snapshot covers.
+func (s *Snapshot) Len() uint64 { return s.snap.InputLen }
+
+// HotStreams extracts the snapshot's hot data streams using the paper's fast
+// approximation algorithm (Figure 5), hottest first.
+func (s *Snapshot) HotStreams(cfg AnalysisConfig) []Stream {
+	infos := hotds.Analyze(s.snap, cfg.internal())
+	return s.p.toStreams(infos)
 }
 
 // HotStreamsPrecise extracts hot data streams with the exact (Larus-style)
 // detector over the reconstructed trace. It is slower than HotStreams but
 // also finds streams that straddle the grammar's rule boundaries (§2.3).
-func (p *Profile) HotStreamsPrecise(cfg AnalysisConfig) []Stream {
-	trace := p.grammar.Snapshot().Expand(0)
+func (s *Snapshot) HotStreamsPrecise(cfg AnalysisConfig) []Stream {
+	trace := s.snap.Expand(0)
 	infos := hotds.PreciseAnalyze(trace, cfg.internal())
-	return p.toStreams(infos)
+	return s.p.toStreams(infos)
+}
+
+// HotStreams extracts the profile's hot data streams using the paper's fast
+// approximation algorithm (Figure 5), hottest first. The profile can
+// continue to grow afterwards. To run more than one detector over the same
+// moment, take a Snapshot and analyze that instead.
+func (p *Profile) HotStreams(cfg AnalysisConfig) []Stream {
+	return p.Snapshot().HotStreams(cfg)
+}
+
+// HotStreamsPrecise extracts hot data streams with the exact (Larus-style)
+// detector; see Snapshot.HotStreamsPrecise.
+func (p *Profile) HotStreamsPrecise(cfg AnalysisConfig) []Stream {
+	return p.Snapshot().HotStreamsPrecise(cfg)
 }
 
 func (p *Profile) toStreams(infos []hotds.StreamInfo) []Stream {
@@ -229,17 +270,43 @@ type Matcher struct {
 // headLen is the prefix length that must match before prefetching is
 // initiated; the paper finds 2 best (§4.3). Streams too short to have a
 // prefetchable tail are ignored.
+//
+// Per-stream preparation (reference conversion and tail deduplication) is
+// independent across streams, so large stream sets are prepared in parallel
+// partitions; each worker writes disjoint slots, so the built machine is
+// identical regardless of parallelism.
 func NewMatcher(streams []Stream, headLen int) (*Matcher, error) {
 	if headLen < 1 {
 		return nil, fmt.Errorf("hotprefetch: headLen must be >= 1, got %d", headLen)
 	}
-	split := make([]dfsm.Stream, 0, len(streams))
-	for _, s := range streams {
-		refs := make([]ref.Ref, len(s.Refs))
-		for i, r := range s.Refs {
-			refs[i] = ref.Ref{PC: r.PC, Addr: r.Addr}
+	split := make([]dfsm.Stream, len(streams))
+	prep := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := streams[i]
+			refs := make([]ref.Ref, len(s.Refs))
+			for j, r := range s.Refs {
+				refs[j] = ref.Ref{PC: r.PC, Addr: r.Addr}
+			}
+			split[i] = dfsm.Split(refs, s.Heat, headLen)
 		}
-		split = append(split, dfsm.Split(refs, s.Heat, headLen))
+	}
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(streams) >= 32 {
+		var wg sync.WaitGroup
+		chunk := (len(streams) + workers - 1) / workers
+		for lo := 0; lo < len(streams); lo += chunk {
+			hi := lo + chunk
+			if hi > len(streams) {
+				hi = len(streams)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				prep(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		prep(0, len(streams))
 	}
 	d := dfsm.Build(split, headLen)
 	return &Matcher{d: d, m: dfsm.NewMatcher(d)}, nil

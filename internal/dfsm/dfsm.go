@@ -26,11 +26,12 @@
 package dfsm
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"hotprefetch/internal/ref"
 )
@@ -46,6 +47,8 @@ type Stream struct {
 // Split prepares a stream for matching with the given head length,
 // deduplicating tail addresses (the paper prefetches each remaining stream
 // address once: for v = abacadae with head aba it prefetches c, a, d, e).
+// Streams are bounded at ~100 references, so the dedup is a linear scan over
+// the tail built so far rather than a per-stream map.
 func Split(refs []ref.Ref, heat uint64, headLen int) Stream {
 	s := Stream{Refs: refs, Heat: heat}
 	if len(refs) <= headLen {
@@ -53,13 +56,17 @@ func Split(refs []ref.Ref, heat uint64, headLen int) Stream {
 		return s
 	}
 	s.Head = refs[:headLen]
-	seen := make(map[uint64]struct{})
+	tail := make([]uint64, 0, len(refs)-headLen)
+outer:
 	for _, r := range refs[headLen:] {
-		if _, dup := seen[r.Addr]; !dup {
-			seen[r.Addr] = struct{}{}
-			s.Tail = append(s.Tail, r.Addr)
+		for _, a := range tail {
+			if a == r.Addr {
+				continue outer
+			}
 		}
+		tail = append(tail, r.Addr)
 	}
+	s.Tail = tail
 	return s
 }
 
@@ -79,22 +86,21 @@ type State struct {
 	Prefetches []uint64
 }
 
-// appendKey appends the canonical identity of an element set: 8 bytes per
-// element, fixed-width little-endian (stream, seen) pairs. Integer encoding
-// keeps state interning free of fmt formatting garbage during Build.
-func appendKey(dst []byte, elems []Element) []byte {
-	for _, e := range elems {
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Stream))
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Seen))
-	}
-	return dst
-}
-
 // transKey identifies a transition source: a state and an observed data
 // reference.
 type transKey struct {
 	state int
 	r     ref.Ref
+}
+
+// transRec is one explicit transition in the flat relation Build produces:
+// observing (pc, addr) in state from moves the machine to state to. Build
+// appends records instead of populating a map, and compile sorts them into
+// the table layout; the map form exists only for the non-hot Next/DOT paths.
+type transRec struct {
+	pc       int
+	addr     uint64
+	from, to int32
 }
 
 // DFSM is the combined prefix-matching machine for a set of hot data
@@ -104,10 +110,13 @@ type DFSM struct {
 	HeadLen int
 	States  []*State
 
-	// trans is the explicit transition relation; Next and WriteDOT read it.
-	// The matching hot path never touches it: Step runs on the compiled
-	// tables below.
-	trans map[transKey]*State
+	// transRecs is the explicit transition relation in flat, sorted form
+	// (by pc, then addr, then source state). The matching hot path never
+	// touches it: Step runs on the compiled tables below. trans is the map
+	// view, built lazily on the first Next call.
+	transRecs []transRec
+	transOnce sync.Once
+	trans     map[transKey]*State
 
 	// Compiled detection tables, the flat layout of the comparison
 	// structure the injected code executes per instrumented pc (paper
@@ -141,6 +150,13 @@ type stateEntry struct {
 // Build constructs the DFSM for the given streams with the lazy work-list
 // algorithm of paper Figure 9. Streams no longer than headLen carry no
 // prefetchable tail and are dropped.
+//
+// Construction is allocation-lean: element sets live in one growing arena and
+// are interned through an open-addressed hash table of state indices, the
+// transition relation is a flat record slice, and the compiled tables are
+// carved from exactly-sized arrays. The expensive per-transition heat ranking
+// in compile fans out across GOMAXPROCS workers over disjoint arm partitions,
+// so the result is identical regardless of parallelism.
 func Build(streams []Stream, headLen int) *DFSM {
 	if headLen < 1 {
 		panic("dfsm: headLen must be >= 1")
@@ -151,88 +167,181 @@ func Build(streams []Stream, headLen int) *DFSM {
 			usable = append(usable, s)
 		}
 	}
-	d := &DFSM{
-		Streams: usable,
-		HeadLen: headLen,
-		trans:   make(map[transKey]*State),
-	}
+	d := &DFSM{Streams: usable, HeadLen: headLen}
 
-	states := map[string]*State{}
-	start := &State{ID: 0}
-	states[""] = start
-	d.States = append(d.States, start)
-	workList := []*State{start}
-
-	var keyBuf []byte
-	intern := func(elems []Element) (*State, bool) {
-		keyBuf = appendKey(keyBuf[:0], elems)
-		if s, ok := states[string(keyBuf)]; ok {
-			return s, false
-		}
-		s := &State{ID: len(d.States), Elements: elems}
-		for _, e := range elems {
-			if e.Seen == headLen {
-				s.Prefetches = append(s.Prefetches, d.Streams[e.Stream].Tail...)
+	// State interning: per-state [off,end) spans into a shared element
+	// arena, plus each state's hash, looked up through an open-addressed
+	// table of state-index+1 slots (0 = empty). The start state (empty
+	// element set) is never a lookup target — an empty successor set means
+	// the implicit restart transition — so it is not in the table.
+	var (
+		elemArena []Element
+		spans     = [][2]int32{{0, 0}} // spans[0] = start state
+		hashes    = []uint64{0}
+		slots     = make([]int32, 64)
+		mask      = uint32(63)
+	)
+	insert := func(id int32) {
+		for i := uint32(hashes[id]) & mask; ; i = (i + 1) & mask {
+			if slots[i] == 0 {
+				slots[i] = id + 1
+				return
 			}
 		}
-		states[string(keyBuf)] = s
-		d.States = append(d.States, s)
-		return s, true
+	}
+	lookup := func(elems []Element, h uint64) int32 {
+		for i := uint32(h) & mask; ; i = (i + 1) & mask {
+			v := slots[i]
+			if v == 0 {
+				return -1
+			}
+			sp := spans[v-1]
+			if hashes[v-1] == h && equalElements(elemArena[sp[0]:sp[1]], elems) {
+				return v - 1
+			}
+		}
 	}
 
+	workList := []int32{0}
+	var (
+		cands   []ref.Ref
+		scratch []Element
+		recs    []transRec
+	)
 	for len(workList) > 0 {
-		s := workList[len(workList)-1]
+		sid := workList[len(workList)-1]
 		workList = workList[:len(workList)-1]
+		sp := spans[sid]
+		// selems stays valid across arena growth: append may move the
+		// arena to a new backing array, but the old one is unchanged.
+		selems := elemArena[sp[0]:sp[1]]
 
 		// Candidate symbols: the next reference of each in-progress element,
 		// plus the first reference of every stream (Figure 9's two loops).
-		cands := make([]ref.Ref, 0, len(s.Elements)+len(d.Streams))
-		seenCand := map[ref.Ref]struct{}{}
-		addCand := func(r ref.Ref) {
-			if _, dup := seenCand[r]; !dup {
-				seenCand[r] = struct{}{}
-				cands = append(cands, r)
-			}
-		}
-		for _, e := range s.Elements {
+		// Candidate sets are small (elements + streams), so dedup is a scan.
+		cands = cands[:0]
+		for _, e := range selems {
 			if e.Seen < headLen {
-				addCand(d.Streams[e.Stream].Head[e.Seen])
+				cands = appendCand(cands, d.Streams[e.Stream].Head[e.Seen])
 			}
 		}
-		for _, st := range d.Streams {
-			addCand(st.Head[0])
+		for i := range d.Streams {
+			cands = appendCand(cands, d.Streams[i].Head[0])
 		}
 
+		// Each (state, candidate) pair is reached exactly once: states enter
+		// the work list only when first interned, and cands is deduplicated,
+		// so no transition-exists check is needed.
 		for _, a := range cands {
-			tk := transKey{state: s.ID, r: a}
-			if _, exists := d.trans[tk]; exists {
-				continue
-			}
-			var next []Element
-			for _, e := range s.Elements {
+			scratch = scratch[:0]
+			for _, e := range selems {
 				if e.Seen < headLen && d.Streams[e.Stream].Head[e.Seen] == a {
-					next = append(next, Element{Stream: e.Stream, Seen: e.Seen + 1})
+					scratch = append(scratch, Element{Stream: e.Stream, Seen: e.Seen + 1})
 				}
 			}
-			for wi, st := range d.Streams {
-				if st.Head[0] == a && !hasElement(next, wi, 1) {
-					next = append(next, Element{Stream: wi, Seen: 1})
+			for wi := range d.Streams {
+				if d.Streams[wi].Head[0] == a && !hasElement(scratch, wi, 1) {
+					scratch = append(scratch, Element{Stream: wi, Seen: 1})
 				}
 			}
-			if len(next) == 0 {
+			if len(scratch) == 0 {
 				continue // implicit transition to the start state
 			}
-			sortElements(next)
-			target, fresh := intern(next)
-			d.trans[tk] = target
-			if fresh {
-				workList = append(workList, target)
+			sortElements(scratch)
+			h := hashElements(scratch)
+			tid := lookup(scratch, h)
+			if tid < 0 {
+				tid = int32(len(spans))
+				off := int32(len(elemArena))
+				elemArena = append(elemArena, scratch...)
+				spans = append(spans, [2]int32{off, off + int32(len(scratch))})
+				hashes = append(hashes, h)
+				if len(spans)*4 >= len(slots)*3 {
+					// Grow and rehash at 75% load.
+					slots = make([]int32, 2*len(slots))
+					mask = uint32(len(slots) - 1)
+					for id := int32(1); id < int32(len(spans)); id++ {
+						insert(id)
+					}
+				} else {
+					insert(tid)
+				}
+				workList = append(workList, tid)
+			}
+			recs = append(recs, transRec{pc: a.PC, addr: a.Addr, from: sid, to: tid})
+		}
+	}
+	d.transRecs = recs
+
+	// Materialize the public state objects: elements slice straight into the
+	// (now final) arena, prefetch lists into one exactly-sized array.
+	n := len(spans)
+	stateBuf := make([]State, n)
+	d.States = make([]*State, n)
+	totalPref := 0
+	for id := 1; id < n; id++ {
+		for _, e := range elemArena[spans[id][0]:spans[id][1]] {
+			if e.Seen == headLen {
+				totalPref += len(d.Streams[e.Stream].Tail)
 			}
 		}
+	}
+	prefArena := make([]uint64, 0, totalPref)
+	for id := 0; id < n; id++ {
+		sp := spans[id]
+		st := &stateBuf[id]
+		st.ID = id
+		if sp[1] > sp[0] {
+			st.Elements = elemArena[sp[0]:sp[1]:sp[1]]
+		}
+		pOff := len(prefArena)
+		for _, e := range st.Elements {
+			if e.Seen == headLen {
+				prefArena = append(prefArena, d.Streams[e.Stream].Tail...)
+			}
+		}
+		if len(prefArena) > pOff {
+			st.Prefetches = prefArena[pOff:len(prefArena):len(prefArena)]
+		}
+		d.States[id] = st
 	}
 
 	d.compile()
 	return d
+}
+
+// appendCand adds r to the candidate set if not already present.
+func appendCand(cands []ref.Ref, r ref.Ref) []ref.Ref {
+	for _, c := range cands {
+		if c == r {
+			return cands
+		}
+	}
+	return append(cands, r)
+}
+
+// hashElements mixes an element set (already canonically sorted) into a
+// 64-bit interning hash.
+func hashElements(elems []Element) uint64 {
+	h := uint64(1469598103934665603)
+	for _, e := range elems {
+		h ^= uint64(uint32(e.Stream)) | uint64(uint32(e.Seen))<<32
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	return h
+}
+
+func equalElements(a, b []Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func hasElement(elems []Element, stream, seen int) bool {
@@ -244,13 +353,21 @@ func hasElement(elems []Element, stream, seen int) bool {
 	return false
 }
 
+// sortElements canonically orders an element set by (stream, seen). Sets are
+// small and nearly sorted (extensions preserve order; only fresh [w,1]
+// elements land out of place), so an insertion sort avoids sort.Slice's
+// per-call closure allocation on this per-transition path.
 func sortElements(elems []Element) {
-	sort.Slice(elems, func(i, j int) bool {
-		if elems[i].Stream != elems[j].Stream {
-			return elems[i].Stream < elems[j].Stream
+	for i := 1; i < len(elems); i++ {
+		e := elems[i]
+		j := i - 1
+		for j >= 0 && (elems[j].Stream > e.Stream ||
+			(elems[j].Stream == e.Stream && elems[j].Seen > e.Seen)) {
+			elems[j+1] = elems[j]
+			j--
 		}
-		return elems[i].Seen < elems[j].Seen
-	})
+		elems[j+1] = e
+	}
 }
 
 // compile lays out the per-pc comparison structure of the injected detection
@@ -258,73 +375,143 @@ func sortElements(elems []Element) {
 // paper's "sort the if-branches in such a way that more likely cases come
 // first". Within an address arm, only extension transitions need explicit
 // state compares; the restart transition d(start, a) is the arm's default.
+//
+// One sort of the flat transition relation by (pc, addr, from) makes every
+// (pc, addr) group — one arm of the generated if-chain — contiguous with its
+// state entries already ordered, so the tables are assembled by slicing, not
+// by per-pc maps. The arm heat ranking, the only pass that touches every
+// target state's element set, runs in parallel over disjoint arm partitions.
 func (d *DFSM) compile() {
-	type groupBuild struct {
-		addr    uint64
-		heat    uint64
-		entries []stateEntry
-		restart int32
+	recs := d.transRecs
+	if len(recs) == 0 {
+		return
 	}
-	byPC := map[int]map[ref.Ref]*groupBuild{}
-	for tk, to := range d.trans {
-		groups := byPC[tk.r.PC]
-		if groups == nil {
-			groups = map[ref.Ref]*groupBuild{}
-			byPC[tk.r.PC] = groups
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].pc != recs[j].pc {
+			return recs[i].pc < recs[j].pc
 		}
-		g := groups[tk.r]
-		if g == nil {
-			g = &groupBuild{addr: tk.r.Addr, restart: -1}
-			groups[tk.r] = g
+		if recs[i].addr != recs[j].addr {
+			return recs[i].addr < recs[j].addr
 		}
-		for _, e := range to.Elements {
-			if h := d.Streams[e.Stream].Heat; h > g.heat {
-				g.heat = h
-			}
+		return recs[i].from < recs[j].from
+	})
+
+	// One group per distinct (pc, addr): the record range, plus the restart
+	// transition d(start, addr) if present (from == 0 sorts first).
+	type group struct {
+		pc           int
+		addr         uint64
+		heat         uint64
+		restart      int32
+		rStart, rEnd int32
+	}
+	nGroups := 1
+	for i := 1; i < len(recs); i++ {
+		if recs[i].pc != recs[i-1].pc || recs[i].addr != recs[i-1].addr {
+			nGroups++
 		}
-		if tk.state == 0 {
-			g.restart = int32(to.ID) // d(start, a), the arm's else branch
-		} else {
-			g.entries = append(g.entries, stateEntry{from: int32(tk.state), to: int32(to.ID)})
+	}
+	groups := make([]group, 0, nGroups)
+	for start := 0; start < len(recs); {
+		end := start + 1
+		for end < len(recs) && recs[end].pc == recs[start].pc && recs[end].addr == recs[start].addr {
+			end++
 		}
+		g := group{
+			pc:      recs[start].pc,
+			addr:    recs[start].addr,
+			restart: -1,
+			rStart:  int32(start),
+			rEnd:    int32(end),
+		}
+		if recs[start].from == 0 {
+			g.restart = recs[start].to
+		}
+		groups = append(groups, g)
+		start = end
 	}
 
-	pcs := make([]int, 0, len(byPC))
-	for pc := range byPC {
-		pcs = append(pcs, pc)
-	}
-	sort.Ints(pcs)
-
-	d.pcKeys = pcs
-	d.pcSpan = make([][2]int32, len(pcs))
-	for slot, pc := range pcs {
-		groups := byPC[pc]
-		list := make([]*groupBuild, 0, len(groups))
-		for _, g := range groups {
-			sort.Slice(g.entries, func(i, j int) bool {
-				return g.entries[i].from < g.entries[j].from
-			})
-			list = append(list, g)
-		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].heat != list[j].heat {
-				return list[i].heat > list[j].heat
+	// Arm heat = hottest stream with an element in any target state of the
+	// group. Partitioned across workers; each writes only its own groups, so
+	// the result is independent of the worker count.
+	rankPartition := func(lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
+			g := &groups[gi]
+			for ri := g.rStart; ri < g.rEnd; ri++ {
+				for _, e := range d.States[recs[ri].to].Elements {
+					if h := d.Streams[e.Stream].Heat; h > g.heat {
+						g.heat = h
+					}
+				}
 			}
-			return list[i].addr < list[j].addr
-		})
-		armStart := int32(len(d.arms))
-		for _, g := range list {
-			eStart := int32(len(d.chains))
-			d.chains = append(d.chains, g.entries...)
-			d.arms = append(d.arms, addrArm{
-				addr:    g.addr,
-				restart: g.restart,
-				eStart:  eStart,
-				eEnd:    int32(len(d.chains)),
-			})
 		}
-		d.pcSpan[slot] = [2]int32{armStart, int32(len(d.arms))}
 	}
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(groups) >= 64 {
+		var wg sync.WaitGroup
+		chunk := (len(groups) + workers - 1) / workers
+		for lo := 0; lo < len(groups); lo += chunk {
+			hi := lo + chunk
+			if hi > len(groups) {
+				hi = len(groups)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				rankPartition(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		rankPartition(0, len(groups))
+	}
+
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].pc != groups[j].pc {
+			return groups[i].pc < groups[j].pc
+		}
+		if groups[i].heat != groups[j].heat {
+			return groups[i].heat > groups[j].heat
+		}
+		return groups[i].addr < groups[j].addr
+	})
+
+	// Lay the arms and entry chains out in exactly-sized arrays.
+	totalEntries := 0
+	nPCs := 1
+	for gi, g := range groups {
+		totalEntries += int(g.rEnd - g.rStart)
+		if g.restart >= 0 {
+			totalEntries--
+		}
+		if gi > 0 && g.pc != groups[gi-1].pc {
+			nPCs++
+		}
+	}
+	d.arms = make([]addrArm, len(groups))
+	d.chains = make([]stateEntry, 0, totalEntries)
+	d.pcKeys = make([]int, 0, nPCs)
+	d.pcSpan = make([][2]int32, 0, nPCs)
+	for gi, g := range groups {
+		if gi == 0 || g.pc != groups[gi-1].pc {
+			d.pcKeys = append(d.pcKeys, g.pc)
+			d.pcSpan = append(d.pcSpan, [2]int32{int32(gi), int32(gi)})
+		}
+		eStart := int32(len(d.chains))
+		for ri := g.rStart; ri < g.rEnd; ri++ {
+			if recs[ri].from == 0 {
+				continue
+			}
+			d.chains = append(d.chains, stateEntry{from: recs[ri].from, to: recs[ri].to})
+		}
+		d.arms[gi] = addrArm{
+			addr:    g.addr,
+			restart: g.restart,
+			eStart:  eStart,
+			eEnd:    int32(len(d.chains)),
+		}
+		d.pcSpan[len(d.pcSpan)-1][1] = int32(gi + 1)
+	}
+	pcs := d.pcKeys
 
 	// Dense pc index when the instrumented pcs span a reasonable range
 	// (pcs are instruction indices, so this is the overwhelmingly common
@@ -379,15 +566,29 @@ func (d *DFSM) NumStates() int { return len(d.States) }
 // NumTransitions returns the number of explicit transitions (Table 2's
 // "checks" column counts the injected prefix-match checks that implement
 // them).
-func (d *DFSM) NumTransitions() int { return len(d.trans) }
+func (d *DFSM) NumTransitions() int { return len(d.transRecs) }
 
 // Start returns the start state (nothing matched).
 func (d *DFSM) Start() *State { return d.States[0] }
 
+// transMap materializes the map view of the transition relation on first
+// use. Next and the debug renderers are the only readers; keeping the map
+// off the Build path keeps construction allocation-lean.
+func (d *DFSM) transMap() map[transKey]*State {
+	d.transOnce.Do(func() {
+		m := make(map[transKey]*State, len(d.transRecs))
+		for _, t := range d.transRecs {
+			m[transKey{state: int(t.from), r: ref.Ref{PC: t.pc, Addr: t.addr}}] = d.States[t.to]
+		}
+		d.trans = m
+	})
+	return d.trans
+}
+
 // Next returns d(s, r), with the implicit reset to the start state for
 // undefined transitions.
 func (d *DFSM) Next(s *State, r ref.Ref) *State {
-	if t, ok := d.trans[transKey{state: s.ID, r: r}]; ok {
+	if t, ok := d.transMap()[transKey{state: s.ID, r: r}]; ok {
 		return t
 	}
 	return d.States[0]
@@ -553,30 +754,23 @@ func (d *DFSM) WriteDOT(w io.Writer) error {
 		fmt.Fprintf(&b, "  s%d [label=%q shape=%s];\n", s.ID, label, shape)
 	}
 	// Deterministic edge order.
-	type edge struct {
-		from int
-		r    ref.Ref
-		to   int
-	}
-	edges := make([]edge, 0, len(d.trans))
-	for tk, to := range d.trans {
-		edges = append(edges, edge{from: tk.state, r: tk.r, to: to.ID})
-	}
+	edges := make([]transRec, len(d.transRecs))
+	copy(edges, d.transRecs)
 	sort.Slice(edges, func(i, j int) bool {
 		a, e := edges[i], edges[j]
 		if a.from != e.from {
 			return a.from < e.from
 		}
-		if a.r.PC != e.r.PC {
-			return a.r.PC < e.r.PC
+		if a.pc != e.pc {
+			return a.pc < e.pc
 		}
-		if a.r.Addr != e.r.Addr {
-			return a.r.Addr < e.r.Addr
+		if a.addr != e.addr {
+			return a.addr < e.addr
 		}
 		return a.to < e.to
 	})
 	for _, e := range edges {
-		fmt.Fprintf(&b, "  s%d -> s%d [label=\"pc%d:0x%x\"];\n", e.from, e.to, e.r.PC, e.r.Addr)
+		fmt.Fprintf(&b, "  s%d -> s%d [label=\"pc%d:0x%x\"];\n", e.from, e.to, e.pc, e.addr)
 	}
 	b.WriteString("}\n")
 	_, err := io.WriteString(w, b.String())

@@ -86,6 +86,31 @@ func (q *SPSC[T]) Push(v T) {
 	}
 }
 
+// PushBatch enqueues up to len(src) elements and returns how many fit,
+// publishing them with a single tail store — the producer-side counterpart
+// of PopBatch, amortizing the release fence and head refresh over a burst.
+// Producer side only.
+func (q *SPSC[T]) PushBatch(src []T) int {
+	t := q.tail.Load()
+	free := uint64(len(q.buf)) - (t - q.headCache)
+	if free < uint64(len(src)) {
+		q.headCache = q.head.Load()
+		free = uint64(len(q.buf)) - (t - q.headCache)
+		if free == 0 {
+			return 0
+		}
+	}
+	n := uint64(len(src))
+	if n > free {
+		n = free
+	}
+	for i := uint64(0); i < n; i++ {
+		q.buf[(t+i)&q.mask] = src[i]
+	}
+	q.tail.Store(t + n)
+	return int(n)
+}
+
 // TryPop dequeues one element, reporting false if the ring is empty.
 // Consumer side only.
 func (q *SPSC[T]) TryPop() (T, bool) {

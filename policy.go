@@ -117,6 +117,15 @@ type ShardedConfig struct {
 	// without observing progress before giving up with ErrFlushStalled
 	// (0 means the default of 5s).
 	FlushStallTimeout time.Duration
+
+	// AnalysisWorkers, when positive, pipelines grammar budget cycles: each
+	// shard keeps a pre-warmed spare grammar, and hitting MaxGrammarSymbols
+	// swaps it in and hands the full grammar to a pool of this many
+	// background analysis workers — ingestion stalls for a pointer swap
+	// instead of a full hot-stream analysis. Zero keeps cycles inline on the
+	// consumer goroutine (the prior behavior). Has no effect without a
+	// grammar budget.
+	AnalysisWorkers int
 }
 
 // withDefaults returns the configuration with zero fields replaced by their
@@ -161,6 +170,9 @@ func (c ShardedConfig) Validate() error {
 	}
 	if c.FlushStallTimeout < 0 {
 		return fmt.Errorf("hotprefetch: negative FlushStallTimeout %v", c.FlushStallTimeout)
+	}
+	if c.AnalysisWorkers < 0 {
+		return fmt.Errorf("hotprefetch: negative AnalysisWorkers %d", c.AnalysisWorkers)
 	}
 	if err := c.CycleAnalysis.Validate(); err != nil {
 		return fmt.Errorf("CycleAnalysis: %w", err)

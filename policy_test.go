@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -421,6 +422,7 @@ func TestShardedConfigValidate(t *testing.T) {
 		{MaxGrammarSymbols: 4},
 		{FlushStallTimeout: -time.Second},
 		{CycleAnalysis: AnalysisConfig{MinLen: -1}},
+		{AnalysisWorkers: -1},
 	}
 	for i, cfg := range bad {
 		if _, err := NewShardedProfileConfig(cfg); err == nil {
@@ -443,5 +445,263 @@ func TestParseIngestPolicy(t *testing.T) {
 	}
 	if _, err := ParseIngestPolicy("bogus"); err == nil {
 		t.Error("bogus policy accepted")
+	}
+}
+
+// TestAddBatchMatchesAdd checks batched ingestion is observationally
+// identical to per-reference ingestion: same consumed count, same hot
+// streams.
+func TestAddBatchMatchesAdd(t *testing.T) {
+	trace := shardTrace(1, 300)
+	cfg := AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.01, MaxStreams: 50}
+
+	batched := NewShardedProfile(1)
+	defer batched.Close()
+	for i := 0; i < len(trace); i += 100 {
+		end := i + 100
+		if end > len(trace) {
+			end = len(trace)
+		}
+		if err := batched.AddBatch(0, trace[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	single := NewShardedProfile(1)
+	defer single.Close()
+	if err := single.Shard(0).AddAll(trace); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := batched.Len(), single.Len(); got != want {
+		t.Fatalf("batched Len = %d, per-ref Len = %d", got, want)
+	}
+	got, want := batched.HotStreams(cfg), single.HotStreams(cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batched HotStreams diverge from per-ref:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestAddBatchDropAccounting mirrors the Drop Add accounting test: every
+// reference in a batch is either pushed or counted dropped, never silently
+// lost.
+func TestAddBatchDropAccounting(t *testing.T) {
+	s := rawShard(t, ShardedConfig{Policy: Drop, RingCap: 4})
+	const attempts = 1000
+	refs := make([]Ref, attempts)
+	for i := range refs {
+		refs[i] = Ref{PC: i, Addr: uint64(i)}
+	}
+	if err := s.AddBatch(refs); err != nil {
+		t.Fatal(err)
+	}
+	pushed, dropped := s.pushed.Load(), s.dropped.Load()
+	if pushed != 4 {
+		t.Errorf("pushed = %d, want 4 (ring capacity, consumer never drains)", pushed)
+	}
+	if pushed+dropped != attempts {
+		t.Errorf("pushed %d + dropped %d != attempts %d", pushed, dropped, attempts)
+	}
+	if err := s.AddBatch(nil); err != nil {
+		t.Errorf("AddBatch(nil) = %v, want nil", err)
+	}
+}
+
+// TestAddBatchRacingClose races batch producers against Close: the producer
+// must come to rest with ErrClosed (never spin forever against stopped
+// consumers), and every reference it managed to push must be accounted.
+// Run under -race this also validates the batch-push/close synchronization.
+func TestAddBatchRacingClose(t *testing.T) {
+	for _, policy := range []IngestPolicy{Block, Drop, Sample} {
+		t.Run(policy.String(), func(t *testing.T) {
+			sp, err := NewShardedProfileConfig(ShardedConfig{Shards: 1, Policy: policy, RingCap: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sp.Shard(0)
+			batch := make([]Ref, 48)
+			for i := range batch {
+				batch[i] = Ref{PC: i % 7, Addr: uint64(i % 5)}
+			}
+			errc := make(chan error, 1)
+			started := make(chan struct{})
+			go func() {
+				close(started)
+				for {
+					if err := s.AddBatch(batch); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+			<-started
+			sp.Close()
+			if err := <-errc; !errors.Is(err, ErrClosed) {
+				t.Fatalf("AddBatch after Close = %v, want ErrClosed", err)
+			}
+			// Refs pushed after the consumer's final drain stay in the ring;
+			// consumed can never exceed pushed.
+			if p, c := s.pushed.Load(), s.consumed.Load(); c > p {
+				t.Errorf("consumed %d > pushed %d", c, p)
+			}
+		})
+	}
+}
+
+// TestPipelinedMatchesInline is the differential acceptance check for
+// pipelined phase transitions: the same trace pushed through an inline-cycling
+// service and a background-pool service must yield the same hot-stream set —
+// same words, same heats — and matchers built over the two sets must charge
+// identical comparison counts. Cycle points are deterministic (the budget is
+// checked per reference), so only merge order may differ; both sets are
+// canonicalized before comparison.
+func TestPipelinedMatchesInline(t *testing.T) {
+	trace := shardTrace(3, 2000)
+	cycleCfg := AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.01}
+	run := func(workers int) []Stream {
+		sp, err := NewShardedProfileConfig(ShardedConfig{
+			Shards:            1,
+			MaxGrammarSymbols: 256,
+			CycleAnalysis:     cycleCfg,
+			AnalysisWorkers:   workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sp.Close()
+		if err := sp.AddBatch(0, trace); err != nil {
+			t.Fatal(err)
+		}
+		streams := sp.HotStreams(cycleCfg)
+		if st := sp.Stats(); st.Resets == 0 {
+			t.Fatalf("workers=%d: no grammar cycles ran; differential test needs cycling", workers)
+		} else if workers > 0 && st.CyclesAnalyzed == 0 {
+			t.Errorf("workers=%d: resets=%d but no background analyses recorded", workers, st.Resets)
+		}
+		return streams
+	}
+	inline := canonicalStreams(run(0))
+	piped := canonicalStreams(run(2))
+	if len(inline) == 0 {
+		t.Fatal("inline run found no hot streams")
+	}
+	if len(inline) != len(piped) {
+		t.Fatalf("inline found %d streams, pipelined %d", len(inline), len(piped))
+	}
+	for i := range inline {
+		if inline[i].Heat != piped[i].Heat || !reflect.DeepEqual(inline[i].Refs, piped[i].Refs) {
+			t.Fatalf("stream %d diverges:\n inline %v\n piped  %v", i, inline[i], piped[i])
+		}
+	}
+
+	mi, err := NewMatcher(inline, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := NewMatcher(piped, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range trace[:2000] {
+		pf1, c1 := mi.Observe(r)
+		pf2, c2 := mp.Observe(r)
+		if c1 != c2 || !reflect.DeepEqual(pf1, pf2) {
+			t.Fatalf("ref %d: inline matcher (%v, %d) != pipelined matcher (%v, %d)", i, pf1, c1, pf2, c2)
+		}
+	}
+}
+
+// canonicalStreams orders streams by heat (hottest first) breaking ties by
+// reference sequence, removing the merge-order dependence among equal heats
+// so stream sets can be compared across scheduling histories.
+func canonicalStreams(streams []Stream) []Stream {
+	out := make([]Stream, len(streams))
+	copy(out, streams)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Heat != out[j].Heat {
+			return out[i].Heat > out[j].Heat
+		}
+		a, b := out[i].Refs, out[j].Refs
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k].PC != b[k].PC {
+				return a[k].PC < b[k].PC
+			}
+			if a[k].Addr != b[k].Addr {
+				return a[k].Addr < b[k].Addr
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// TestGrammarSwapRacesAddStats churns grammar budget cycles through the
+// background analysis pool while producers batch references in and an
+// observer snapshots Stats — run under -race this validates the spare-grammar
+// swap, the analysis queue, and the pipeline counters.
+func TestGrammarSwapRacesAddStats(t *testing.T) {
+	const shards = 2
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            shards,
+		MaxGrammarSymbols: 256,
+		CycleAnalysis:     AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.05, MaxStreams: 20},
+		AnalysisWorkers:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = sp.Stats().String()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trace := shardTrace(i+1, 2000)
+			for len(trace) > 0 {
+				n := 64
+				if n > len(trace) {
+					n = len(trace)
+				}
+				if err := sp.AddBatch(i, trace[:n]); err != nil {
+					t.Error(err)
+					return
+				}
+				trace = trace[n:]
+			}
+		}(i)
+	}
+	wg.Wait()
+	streams := sp.HotStreams(AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.001, MaxStreams: 100})
+	if len(streams) == 0 {
+		t.Error("no hot streams survived pipelined cycling")
+	}
+	close(stop)
+	obs.Wait()
+	st := sp.Stats()
+	if st.Resets == 0 {
+		t.Error("no grammar cycles ran")
+	}
+	if st.CyclesAnalyzed != st.Resets {
+		t.Errorf("CyclesAnalyzed = %d, want %d (every cycle analyzed after drain)", st.CyclesAnalyzed, st.Resets)
+	}
+	if st.MaxAnalysisTime == 0 {
+		t.Error("MaxAnalysisTime = 0 after background cycles")
+	}
+	sp.Close()
+	if st := sp.Stats(); st.AnalysisQueueDepth != 0 {
+		t.Errorf("AnalysisQueueDepth = %d after Close, want 0", st.AnalysisQueueDepth)
 	}
 }

@@ -33,27 +33,56 @@ import (
 // policy for full-ring back-pressure (Block, Drop, Sample), a per-shard
 // grammar memory budget with automatic phase cycling, and a Stats snapshot
 // for monitoring.
+//
+// With AnalysisWorkers > 0, grammar-budget cycles are pipelined instead of
+// inline: the shard consumer swaps in a pre-warmed spare grammar and hands
+// the full one to a background analysis pool, so ingestion never stalls for
+// the duration of a cycle-end analysis — the paper's requirement that
+// analysis be cheap enough to run while the program executes (§2), turned
+// into an off-the-ingest-path phase transition.
 type ShardedProfile struct {
 	shards []*ProfileShard
 	cfg    ShardedConfig
 	closed atomic.Bool
 
-	mergeCount atomic.Uint64 // HotStreams merge passes
-	mergeNanos atomic.Uint64 // cumulative time spent merging
-	matcher    atomic.Pointer[ConcurrentMatcher]
+	// analysisQ feeds full profiles to the background analysis pool; nil
+	// when AnalysisWorkers == 0 (inline cycling).
+	analysisQ   chan analysisJob
+	workersDone sync.WaitGroup
+
+	mergeCount        atomic.Uint64 // HotStreams merge passes
+	mergeNanos        atomic.Uint64 // cumulative time spent merging
+	cycles            atomic.Uint64 // cycle analyses completed (inline + background)
+	lastAnalysisNanos atomic.Uint64
+	maxAnalysisNanos  atomic.Uint64
+	matcher           atomic.Pointer[ConcurrentMatcher]
+}
+
+// analysisJob is one detached full profile awaiting background analysis.
+type analysisJob struct {
+	shard *ProfileShard
+	p     *Profile
 }
 
 // ProfileShard is one shard's producer handle. Each shard accepts references
 // from at most one goroutine at a time (the single-producer half of the SPSC
 // contract); distinct shards are fully independent.
 type ProfileShard struct {
-	q *ring.SPSC[Ref]
-	p *Profile
+	q  *ring.SPSC[Ref]
+	p  *Profile
+	sp *ShardedProfile // owner; reaches the analysis pool and its stats
 
 	policy     IngestPolicy
 	sampleN    int
 	maxSymbols int
 	cycleCfg   AnalysisConfig
+
+	// spare holds reset profiles for double buffering (pipelined cycling):
+	// the consumer swaps one in at a cycle instead of analyzing inline, and
+	// analysis workers return recycled profiles to it.
+	spare       chan *Profile
+	pending     atomic.Int64  // analyses queued or running for this shard
+	spareMisses atomic.Uint64 // cycles that had to allocate a fresh profile
 
 	closed     atomic.Bool
 	pushed     atomic.Uint64 // references accepted by Add
@@ -64,6 +93,11 @@ type ProfileShard struct {
 
 	grammarSize atomic.Uint64 // p's grammar size as of the last batch
 	peakGrammar atomic.Uint64 // high-water mark of the grammar size
+
+	// maxCycleStallNanos is the longest a grammar-budget cycle has blocked
+	// this shard's ingest path: the whole analysis when cycling inline, just
+	// the grammar swap and enqueue when pipelined.
+	maxCycleStallNanos atomic.Uint64
 
 	// Producer-local Sample state: guarded by the single-producer contract,
 	// never touched by the consumer.
@@ -99,6 +133,10 @@ func NewShardedProfileConfig(cfg ShardedConfig) (*ShardedProfile, error) {
 		return nil, err
 	}
 	sp := newShardedProfile(cfg)
+	for i := 0; i < sp.cfg.AnalysisWorkers; i++ {
+		sp.workersDone.Add(1)
+		go sp.analysisWorker()
+	}
 	for _, s := range sp.shards {
 		go s.consume()
 	}
@@ -110,10 +148,17 @@ func NewShardedProfileConfig(cfg ShardedConfig) (*ShardedProfile, error) {
 func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 	cfg = cfg.withDefaults()
 	sp := &ShardedProfile{shards: make([]*ProfileShard, cfg.Shards), cfg: cfg}
+	if cfg.AnalysisWorkers > 0 {
+		// Queue capacity of two jobs per shard: a shard can have at most one
+		// analysis in flight per spare it can draw, and the spare channel
+		// holds two, so enqueues block only when the pool is badly behind.
+		sp.analysisQ = make(chan analysisJob, 2*cfg.Shards)
+	}
 	for i := range sp.shards {
-		sp.shards[i] = &ProfileShard{
+		s := &ProfileShard{
 			q:          ring.New[Ref](cfg.RingCap),
 			p:          NewProfile(),
+			sp:         sp,
 			policy:     cfg.Policy,
 			sampleN:    cfg.SampleInterval,
 			maxSymbols: cfg.MaxGrammarSymbols,
@@ -121,8 +166,67 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 			stop:       make(chan struct{}),
 			done:       make(chan struct{}),
 		}
+		if cfg.AnalysisWorkers > 0 && cfg.MaxGrammarSymbols > 0 {
+			// Pre-warm one spare so the first phase transition is a pure
+			// pointer swap.
+			s.spare = make(chan *Profile, 2)
+			s.spare <- NewProfile()
+		}
+		sp.shards[i] = s
 	}
 	return sp
+}
+
+// analysisWorker drains the analysis queue: each job is one shard's full,
+// detached profile. The worker extracts its hot streams, banks them in the
+// shard's retained set, recycles the profile's storage, and returns it to
+// the shard as a future spare. Runs until the queue is closed.
+func (sp *ShardedProfile) analysisWorker() {
+	defer sp.workersDone.Done()
+	for job := range sp.analysisQ {
+		start := time.Now()
+		streams := job.p.HotStreams(job.shard.cycleCfg)
+		if len(streams) > 0 {
+			s := job.shard
+			s.mu.Lock()
+			s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
+			s.mu.Unlock()
+		}
+		job.p.Reset()
+		select {
+		case job.shard.spare <- job.p:
+		default: // spare buffer full; let the profile go
+		}
+		sp.noteAnalysis(time.Since(start))
+		// Last: drainAnalyses readers must see the retained merge.
+		job.shard.pending.Add(-1)
+	}
+}
+
+// noteAnalysis records one completed cycle analysis in the pipeline stats.
+func (sp *ShardedProfile) noteAnalysis(d time.Duration) {
+	sp.cycles.Add(1)
+	sp.lastAnalysisNanos.Store(uint64(d))
+	for {
+		cur := sp.maxAnalysisNanos.Load()
+		if uint64(d) <= cur || sp.maxAnalysisNanos.CompareAndSwap(cur, uint64(d)) {
+			return
+		}
+	}
+}
+
+// drainAnalyses blocks until no shard has a cycle analysis queued or
+// running, so the retained sets are complete up to the analyses enqueued
+// before the call.
+func (sp *ShardedProfile) drainAnalyses() {
+	if sp.analysisQ == nil {
+		return
+	}
+	for _, s := range sp.shards {
+		for s.pending.Load() > 0 {
+			runtime.Gosched()
+		}
+	}
 }
 
 // consume drains the shard's ring into its Profile until stopped.
@@ -173,19 +277,56 @@ func (s *ProfileShard) apply(refs []Ref) {
 	s.consumed.Add(uint64(len(refs)))
 }
 
-// cycle extracts the current grammar's hot streams into the retained set and
-// resets the grammar and interner, recycling their storage. Runs on the
-// consumer goroutine, which owns s.p.
+// cycle ends the current profiling phase when the grammar hits its budget.
+// Runs on the consumer goroutine, which owns s.p.
+//
+// Pipelined (AnalysisWorkers > 0): swap in a pre-warmed spare grammar and
+// hand the full one to the background analysis pool — the ingest path stalls
+// for a pointer exchange and a channel send, not for the analysis itself.
+// Inline (no pool): extract hot streams, bank them, and recycle the grammar
+// before returning, stalling ingestion for the whole analysis (the paper
+// §5's cycle-end deallocation, run synchronously).
 func (s *ProfileShard) cycle() {
+	start := time.Now()
+	if s.spare != nil {
+		full := s.p
+		var next *Profile
+		select {
+		case next = <-s.spare:
+		default:
+			// Both spares are still in the pool (analysis running behind);
+			// allocate rather than stall ingestion waiting for one.
+			next = NewProfile()
+			s.spareMisses.Add(1)
+		}
+		s.p = next
+		s.pending.Add(1)
+		s.sp.analysisQ <- analysisJob{shard: s, p: full}
+		s.resets.Add(1)
+		s.noteCycleStall(time.Since(start))
+		return
+	}
 	streams := s.p.HotStreams(s.cycleCfg)
 	s.p.Reset()
 	s.resets.Add(1)
-	if len(streams) == 0 {
-		return
+	if len(streams) > 0 {
+		s.mu.Lock()
+		s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
+		s.mu.Unlock()
 	}
-	s.mu.Lock()
-	s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
-	s.mu.Unlock()
+	d := time.Since(start)
+	s.sp.noteAnalysis(d)
+	s.noteCycleStall(d)
+}
+
+// noteCycleStall records how long one cycle blocked the ingest path.
+func (s *ProfileShard) noteCycleStall(d time.Duration) {
+	for {
+		cur := s.maxCycleStallNanos.Load()
+		if uint64(d) <= cur || s.maxCycleStallNanos.CompareAndSwap(cur, uint64(d)) {
+			return
+		}
+	}
 }
 
 // retainedStreams returns a copy of the streams banked by grammar cycles.
@@ -258,6 +399,57 @@ func (s *ProfileShard) AddAll(refs []Ref) error {
 	return nil
 }
 
+// AddBatch appends a run of references in order, amortizing the ring's
+// release fence and head refresh over the whole run (one tail store per
+// PushBatch instead of one per reference). Policy semantics match Add:
+// Block pushes every reference (returning ErrClosed if the profile closes
+// mid-batch), Drop sheds whatever does not fit the ring, and Sample falls
+// back to per-reference Add because its degradation decisions are made
+// reference by reference.
+func (s *ProfileShard) AddBatch(refs []Ref) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if len(refs) == 0 {
+		return nil
+	}
+	switch s.policy {
+	case Drop:
+		n := s.q.PushBatch(refs)
+		s.pushed.Add(uint64(n))
+		if n < len(refs) {
+			s.dropped.Add(uint64(len(refs) - n))
+		}
+	case Sample:
+		for _, r := range refs {
+			if err := s.Add(r); err != nil {
+				return err
+			}
+		}
+	default: // Block
+		pushed := 0
+		for pushed < len(refs) {
+			n := s.q.PushBatch(refs[pushed:])
+			if n == 0 {
+				if s.closed.Load() {
+					s.pushed.Add(uint64(pushed))
+					return ErrClosed
+				}
+				runtime.Gosched()
+				continue
+			}
+			pushed += n
+		}
+		s.pushed.Add(uint64(pushed))
+	}
+	return nil
+}
+
+// AddBatch appends a run of references to shard i; see ProfileShard.AddBatch.
+func (sp *ShardedProfile) AddBatch(i int, refs []Ref) error {
+	return sp.shards[i].AddBatch(refs)
+}
+
 // NumShards returns the number of shards.
 func (sp *ShardedProfile) NumShards() int { return len(sp.shards) }
 
@@ -327,6 +519,13 @@ func (sp *ShardedProfile) Close() {
 	for _, s := range sp.shards {
 		<-s.done
 	}
+	// Consumers are joined, so no further jobs can be enqueued; close the
+	// analysis queue and wait for the pool to finish banking in-flight
+	// cycles. Readers after Close see complete retained sets.
+	if sp.analysisQ != nil {
+		close(sp.analysisQ)
+		sp.workersDone.Wait()
+	}
 }
 
 // HotStreams flushes all shards, extracts each shard's hot data streams in
@@ -341,6 +540,10 @@ func (sp *ShardedProfile) Close() {
 // this faithful. Producers should be quiescent, as for Flush.
 func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
 	sp.Flush()
+	// Pipelined cycling: Flush only guarantees the references were consumed;
+	// the cycles they triggered may still be in the analysis pool. Wait for
+	// those to land in the retained sets before merging.
+	sp.drainAnalyses()
 	n := len(sp.shards)
 	perShard := make([][]Stream, 2*n)
 	var wg sync.WaitGroup
@@ -376,6 +579,14 @@ func streamKey(buf []byte, st Stream) []byte {
 // mergeStreams deduplicates identical streams across shards (summing heat)
 // and returns them hottest first, preserving shard-extraction order among
 // equal heats, capped at maxStreams (0 = no cap).
+//
+// hotds.Analyze already emits each shard's streams hottest-first, so when no
+// stream recurs across shards — the common case, since shards see disjoint
+// logical traces — no heat ever changes after emission and the inputs are k
+// sorted lists: a selection merge reproduces exactly the order a stable sort
+// of the concatenation would, without the O(n log n) sort, and stops as soon
+// as maxStreams streams are out. A duplicate (heats sum, possibly re-ranking
+// an earlier entry) or an unsorted input falls back to dedup + stable sort.
 func mergeStreams(perShard [][]Stream, maxStreams int) []Stream {
 	type slot struct {
 		idx  int
@@ -386,10 +597,15 @@ func mergeStreams(perShard [][]Stream, maxStreams int) []Stream {
 		key  []byte
 		seen = map[string]*slot{}
 	)
+	sorted, dup := true, false
 	for _, streams := range perShard {
-		for _, st := range streams {
+		for i, st := range streams {
+			if i > 0 && st.Heat > streams[i-1].Heat {
+				sorted = false
+			}
 			key = streamKey(key[:0], st)
 			if sl, ok := seen[string(key)]; ok {
+				dup = true
 				sl.heat += st.Heat
 				out[sl.idx].Heat = sl.heat
 				continue
@@ -398,9 +614,46 @@ func mergeStreams(perShard [][]Stream, maxStreams int) []Stream {
 			out = append(out, st)
 		}
 	}
+	if sorted && !dup {
+		return kwayMergeSorted(perShard, maxStreams)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Heat > out[j].Heat })
 	if maxStreams > 0 && len(out) > maxStreams {
 		out = out[:maxStreams]
+	}
+	return out
+}
+
+// kwayMergeSorted merges hottest-first, duplicate-free lists by selection:
+// repeatedly take the hottest head, breaking ties toward the lowest list
+// index. Within a list heats are non-increasing, so among equal heats every
+// entry of list i is emitted before any entry of list j > i — the same order
+// a stable sort of the concatenation yields.
+func kwayMergeSorted(lists [][]Stream, maxStreams int) []Stream {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if maxStreams > 0 && total > maxStreams {
+		total = maxStreams
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Stream, 0, total)
+	pos := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[pos[i]].Heat > lists[best][pos[best]].Heat {
+				best = i
+			}
+		}
+		out = append(out, lists[best][pos[best]])
+		pos[best]++
 	}
 	return out
 }

@@ -199,3 +199,92 @@ func TestConcurrentMatcherMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestMatcherHotSwapRacesObserve retrains a ConcurrentMatcher between two
+// stream sets while observer goroutines hammer Observe — run under -race
+// this validates the atomic-pointer publication: an observation lands wholly
+// on the machine published before or after its swap, never on a torn table.
+func TestMatcherHotSwapRacesObserve(t *testing.T) {
+	cfg := AnalysisConfig{MinLen: 2, MaxLen: 100, MinCoverage: 0.1}
+	traceA, traceB := shardTrace(1, 300), shardTrace(2, 300)
+	analyze := func(trace []Ref) []Stream {
+		p := NewProfile()
+		p.AddAll(trace)
+		streams := p.HotStreams(cfg)
+		if len(streams) == 0 {
+			t.Fatal("no hot streams to match")
+		}
+		return streams
+	}
+	sets := [][]Stream{analyze(traceA), analyze(traceB)}
+
+	cm, err := NewConcurrentMatcher(sets[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range traceA[:60] {
+					cm.Observe(r)
+				}
+				for _, r := range traceB[:60] {
+					cm.Observe(r)
+				}
+			}
+		}()
+	}
+	const swaps = 50
+	for i := 1; i <= swaps; i++ {
+		if err := cm.Swap(sets[i%2], 2); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := cm.Swaps(); got != swaps {
+		t.Errorf("Swaps = %d, want %d", got, swaps)
+	}
+	if cm.NumStates() < 2 {
+		t.Errorf("NumStates = %d, want >= 2", cm.NumStates())
+	}
+}
+
+// TestMergeStreamsKWayFastPath drives mergeStreams through the sorted,
+// duplicate-free fast path and checks it reproduces exactly the stable-sort
+// order, including equal-heat tie-breaking by list then position.
+func TestMergeStreamsKWayFastPath(t *testing.T) {
+	st := func(pc int, heat uint64) Stream {
+		return Stream{Refs: []Ref{{PC: pc, Addr: 1}}, Heat: heat}
+	}
+	perShard := [][]Stream{
+		{st(10, 90), st(11, 50), st(12, 50), st(13, 10)},
+		{st(20, 70), st(21, 50), st(22, 20)},
+		{},
+		{st(30, 90), st(31, 5)},
+	}
+	got := mergeStreams(perShard, 0)
+	wantPC := []int{10, 30, 20, 11, 12, 21, 22, 13, 31}
+	if len(got) != len(wantPC) {
+		t.Fatalf("merged %d streams, want %d", len(got), len(wantPC))
+	}
+	for i, s := range got {
+		if s.Refs[0].PC != wantPC[i] {
+			t.Errorf("merged[%d].PC = %d, want %d", i, s.Refs[0].PC, wantPC[i])
+		}
+	}
+	capped := mergeStreams(perShard, 3)
+	if len(capped) != 3 || capped[0].Refs[0].PC != 10 || capped[1].Refs[0].PC != 30 || capped[2].Refs[0].PC != 20 {
+		t.Errorf("cap 3 kept %v, want PCs 10, 30, 20", capped)
+	}
+}

@@ -35,6 +35,18 @@ type ShardStats struct {
 	// capacity.
 	RingLen int `json:"ring_len"`
 	RingCap int `json:"ring_cap"`
+
+	// PendingAnalyses counts this shard's cycles queued or running in the
+	// background analysis pool; SpareMisses counts cycles that had to
+	// allocate a fresh grammar because both spares were still being
+	// recycled. Zero when cycling is inline (AnalysisWorkers == 0).
+	PendingAnalyses int64  `json:"pending_analyses"`
+	SpareMisses     uint64 `json:"spare_misses"`
+
+	// MaxCycleStall is the longest a grammar-budget cycle has blocked this
+	// shard's ingest path: the whole analysis when cycling inline, just the
+	// grammar swap when pipelined.
+	MaxCycleStall time.Duration `json:"max_cycle_stall_ns"`
 }
 
 // Stats is a point-in-time snapshot of a ShardedProfile's service counters:
@@ -65,9 +77,26 @@ type Stats struct {
 	MergeCount uint64        `json:"merge_count"`
 	MergeTime  time.Duration `json:"merge_time_ns"`
 
+	// Pipeline counters (all zero when AnalysisWorkers == 0 and no budget
+	// cycles have run): AnalysisQueueDepth is the number of full grammars
+	// waiting for a background worker right now; CyclesAnalyzed counts
+	// cycle-end analyses completed (inline or background); LastAnalysisTime
+	// and MaxAnalysisTime are the latest and worst single-cycle analysis
+	// latencies.
+	AnalysisQueueDepth int           `json:"analysis_queue_depth"`
+	CyclesAnalyzed     uint64        `json:"cycles_analyzed"`
+	LastAnalysisTime   time.Duration `json:"last_analysis_time_ns"`
+	MaxAnalysisTime    time.Duration `json:"max_analysis_time_ns"`
+
+	// MaxCycleStall is the worst per-shard ingest stall charged to a grammar
+	// cycle (max over shards of ShardStats.MaxCycleStall).
+	MaxCycleStall time.Duration `json:"max_cycle_stall_ns"`
+
 	// MatcherObservations is the number of references observed by the
-	// ConcurrentMatcher registered with AttachMatcher, if any.
+	// ConcurrentMatcher registered with AttachMatcher, if any;
+	// MatcherSwaps counts its lock-free retraining swaps.
 	MatcherObservations uint64 `json:"matcher_observations"`
+	MatcherSwaps        uint64 `json:"matcher_swaps"`
 }
 
 // String renders the snapshot as JSON, satisfying expvar.Var.
@@ -84,9 +113,15 @@ func (st Stats) String() string {
 // flush: the snapshot reflects ingestion as it stands, backlog included.
 func (sp *ShardedProfile) Stats() Stats {
 	st := Stats{
-		Shards:     make([]ShardStats, len(sp.shards)),
-		MergeCount: sp.mergeCount.Load(),
-		MergeTime:  time.Duration(sp.mergeNanos.Load()),
+		Shards:           make([]ShardStats, len(sp.shards)),
+		MergeCount:       sp.mergeCount.Load(),
+		MergeTime:        time.Duration(sp.mergeNanos.Load()),
+		CyclesAnalyzed:   sp.cycles.Load(),
+		LastAnalysisTime: time.Duration(sp.lastAnalysisNanos.Load()),
+		MaxAnalysisTime:  time.Duration(sp.maxAnalysisNanos.Load()),
+	}
+	if sp.analysisQ != nil {
+		st.AnalysisQueueDepth = len(sp.analysisQ)
 	}
 	for i, s := range sp.shards {
 		s.mu.Lock()
@@ -103,6 +138,9 @@ func (sp *ShardedProfile) Stats() Stats {
 			PeakGrammarSize: int(s.peakGrammar.Load()),
 			RingLen:         s.q.Len(),
 			RingCap:         s.q.Cap(),
+			PendingAnalyses: s.pending.Load(),
+			SpareMisses:     s.spareMisses.Load(),
+			MaxCycleStall:   time.Duration(s.maxCycleStallNanos.Load()),
 		}
 		st.Shards[i] = ss
 		st.Pushed += ss.Pushed
@@ -111,9 +149,13 @@ func (sp *ShardedProfile) Stats() Stats {
 		st.Sampled += ss.Sampled
 		st.Resets += ss.Resets
 		st.GrammarSize += ss.GrammarSize
+		if ss.MaxCycleStall > st.MaxCycleStall {
+			st.MaxCycleStall = ss.MaxCycleStall
+		}
 	}
 	if m := sp.matcher.Load(); m != nil {
 		st.MatcherObservations = m.Observations()
+		st.MatcherSwaps = m.Swaps()
 	}
 	return st
 }
