@@ -1,0 +1,485 @@
+package hotprefetch
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hotprefetch/internal/fault"
+)
+
+// chaosTrace builds producer p's reference stream: a repeating 12-ref hot
+// stream plus per-repetition noise, sized so grammar budgets cycle many
+// times over the run.
+func chaosTrace(p, refs int) []Ref {
+	stream := make([]Ref, 12)
+	for i := range stream {
+		stream[i] = Ref{PC: 500*p + i, Addr: uint64(0x4000*p + 8*i)}
+	}
+	trace := make([]Ref, 0, refs)
+	for r := 0; len(trace) < refs; r++ {
+		trace = append(trace, stream...)
+		trace = append(trace, Ref{PC: 77000 + p, Addr: uint64(0xbeef0000 + 64*r)})
+	}
+	return trace[:refs]
+}
+
+// waitGoroutines polls until the live goroutine count returns to the given
+// baseline (plus slack for runtime housekeeping), failing after a deadline.
+// Abandoned analysis helpers are allowed to finish their injected delays
+// within the window.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		runtime.GC() // nudge finalization of abandoned helpers
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d live, baseline %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// checkCycleInvariant asserts the failure-containment accounting contract:
+// at quiescence every budget cycle reached exactly one terminal state.
+func checkCycleInvariant(t *testing.T, st Stats) {
+	t.Helper()
+	if st.Resets != st.CyclesAnalyzed+st.AnalysesFailed+st.AnalysesSkipped {
+		t.Errorf("cycle accounting broken: Resets=%d != CyclesAnalyzed=%d + AnalysesFailed=%d + AnalysesSkipped=%d",
+			st.Resets, st.CyclesAnalyzed, st.AnalysesFailed, st.AnalysesSkipped)
+	}
+}
+
+// chaosScenario is one fault profile for the policy × fault matrix.
+type chaosScenario struct {
+	name    string
+	faults  fault.SeededConfig
+	timeout time.Duration // AnalysisTimeout
+	// verify receives the final stats and the injector for exact
+	// reconciliation of injected faults against recorded failures.
+	verify func(t *testing.T, st Stats, inj *fault.Seeded)
+}
+
+// TestChaosPolicyFaultMatrix drives every ingest policy through every fault
+// scenario with workers, budgets, and breakers enabled, under -race, and
+// asserts liveness (all calls return, goroutines return to baseline) plus
+// exact shed and failure accounting.
+func TestChaosPolicyFaultMatrix(t *testing.T) {
+	perShard := 300_000
+	if testing.Short() {
+		perShard = 60_000
+	}
+	scenarios := []chaosScenario{
+		{
+			name:   "panic-sometimes",
+			faults: fault.SeededConfig{Seed: 1, PanicRate: 0.2},
+			verify: func(t *testing.T, st Stats, inj *fault.Seeded) {
+				// Every injected panic is one recorded failure: skipped jobs
+				// never reach the injector, and no other fault is armed.
+				if st.AnalysesFailed != inj.Panics() {
+					t.Errorf("AnalysesFailed=%d, want exactly injected panics %d",
+						st.AnalysesFailed, inj.Panics())
+				}
+			},
+		},
+		{
+			name:    "panic-always",
+			faults:  fault.SeededConfig{Seed: 2, PanicRate: 1},
+			timeout: 0,
+			verify: func(t *testing.T, st Stats, inj *fault.Seeded) {
+				if st.CyclesAnalyzed != 0 {
+					t.Errorf("CyclesAnalyzed=%d with PanicRate 1, want 0", st.CyclesAnalyzed)
+				}
+				if st.AnalysesFailed != inj.Panics() {
+					t.Errorf("AnalysesFailed=%d, want exactly injected panics %d",
+						st.AnalysesFailed, inj.Panics())
+				}
+				// Breakers are per shard and trip on consecutive failures;
+				// with PanicRate 1 every failure run is consecutive, so any
+				// shard that failed threshold times must have tripped.
+				for i, ss := range st.Shards {
+					if ss.AnalysesFailed >= 3 && ss.BreakerTransitions == 0 {
+						t.Errorf("shard %d: %d consecutive failures but breaker never tripped",
+							i, ss.AnalysesFailed)
+					}
+				}
+			},
+		},
+		{
+			name:    "deadline",
+			faults:  fault.SeededConfig{Seed: 3, DelayRate: 1, Delay: 5 * time.Millisecond},
+			timeout: 500 * time.Microsecond,
+			verify: func(t *testing.T, st Stats, inj *fault.Seeded) {
+				// Every admitted job is delayed past the deadline: all fail
+				// with ErrAnalysisTimeout, none complete.
+				if st.CyclesAnalyzed != 0 {
+					t.Errorf("CyclesAnalyzed=%d with every analysis delayed past its deadline, want 0",
+						st.CyclesAnalyzed)
+				}
+				if st.AnalysesFailed != inj.Delays() {
+					t.Errorf("AnalysesFailed=%d, want exactly injected delays %d",
+						st.AnalysesFailed, inj.Delays())
+				}
+			},
+		},
+		{
+			name:   "ring-pressure",
+			faults: fault.SeededConfig{Seed: 4, RingFullRate: 0.05},
+			verify: func(t *testing.T, st Stats, inj *fault.Seeded) {
+				if st.AnalysesFailed != 0 || st.AnalysesSkipped != 0 {
+					t.Errorf("failures recorded with no analysis faults armed: failed=%d skipped=%d",
+						st.AnalysesFailed, st.AnalysesSkipped)
+				}
+				if inj.RingFulls() == 0 {
+					t.Error("ring pressure scenario injected no full-ring events")
+				}
+			},
+		},
+		{
+			name: "combo",
+			faults: fault.SeededConfig{
+				Seed: 5, PanicRate: 0.1,
+				DelayRate: 0.1, Delay: 2 * time.Millisecond,
+				RingFullRate: 0.02,
+			},
+			timeout: time.Millisecond,
+			verify: func(t *testing.T, st Stats, inj *fault.Seeded) {
+				// A job fails if it drew a panic or a deadline-busting delay,
+				// so the failure count is at least the larger injection
+				// count. No exact upper bound: the tight 1ms deadline also
+				// catches genuine (uninjected) analysis overruns, which is
+				// the containment working as designed.
+				lo := inj.Panics()
+				if inj.Delays() > lo {
+					lo = inj.Delays()
+				}
+				if st.AnalysesFailed < lo {
+					t.Errorf("AnalysesFailed=%d below injection floor %d (panics=%d delays=%d)",
+						st.AnalysesFailed, lo, inj.Panics(), inj.Delays())
+				}
+			},
+		},
+	}
+	for _, policy := range []IngestPolicy{Block, Drop, Sample} {
+		for _, sc := range scenarios {
+			t.Run(policy.String()+"/"+sc.name, func(t *testing.T) {
+				runChaos(t, policy, sc, perShard)
+			})
+		}
+	}
+}
+
+func runChaos(t *testing.T, policy IngestPolicy, sc chaosScenario, perShard int) {
+	const shards = 4
+	base := runtime.NumGoroutine()
+	inj := fault.NewSeeded(sc.faults)
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            shards,
+		Policy:            policy,
+		RingCap:           256,
+		MaxGrammarSymbols: 64,
+		AnalysisWorkers:   2,
+		AnalysisTimeout:   sc.timeout,
+		BreakerThreshold:  3,
+		BreakerBackoff:    time.Millisecond,
+		BreakerMaxBackoff: 8 * time.Millisecond,
+		CycleAnalysis:     AnalysisConfig{MinLen: 4, MaxLen: 64, MinCoverage: 0.05},
+		FlushStallTimeout: 10 * time.Second,
+		Fault:             inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trace := chaosTrace(i+1, perShard)
+			for off := 0; off < len(trace); off += 512 {
+				end := off + 512
+				if end > len(trace) {
+					end = len(trace)
+				}
+				if err := sp.AddBatch(i, trace[off:end]); err != nil {
+					t.Errorf("shard %d AddBatch: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Liveness: the lossy and strict readers both return even when every
+	// analysis is failing.
+	if _, err := sp.HotStreamsErr(AnalysisConfig{MinLen: 4, MaxLen: 64, MinCoverage: 0.05}); err != nil {
+		t.Errorf("HotStreamsErr under chaos: %v", err)
+	}
+	sp.Close()
+	sp.Close() // idempotent under chaos too
+
+	st := sp.Stats()
+	checkCycleInvariant(t, st)
+	// Shed accounting: every produced reference is on the books exactly
+	// once — pushed, dropped, or sampled out.
+	for i, ss := range st.Shards {
+		total := ss.Pushed + ss.Dropped + ss.Sampled
+		if total != uint64(perShard) {
+			t.Errorf("shard %d books %d references (pushed=%d dropped=%d sampled=%d), want %d",
+				i, total, ss.Pushed, ss.Dropped, ss.Sampled, perShard)
+		}
+	}
+	if policy == Block && (st.Dropped != 0 || st.Sampled != 0) {
+		t.Errorf("Block policy shed references: dropped=%d sampled=%d", st.Dropped, st.Sampled)
+	}
+	if sc.verify != nil {
+		sc.verify(t, st, inj)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestChaosBreakerRecovery walks one shard's breaker through its full
+// closed → open → half-open → closed cycle: the first failures trip it,
+// cycles during the backoff are skipped without analysis, and the half-open
+// probe's success restores full service.
+func TestChaosBreakerRecovery(t *testing.T) {
+	var failures atomic.Int64
+	hooks := &fault.Hooks{AnalysisFn: func(int) fault.Outcome {
+		// Exactly the first `threshold` analyses panic; everything after
+		// succeeds, so the probe must close the breaker.
+		if failures.Add(1) <= 3 {
+			return fault.Outcome{Panic: true}
+		}
+		return fault.Outcome{}
+	}}
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            1,
+		MaxGrammarSymbols: 64,
+		BreakerThreshold:  3,
+		BreakerBackoff:    time.Millisecond,
+		BreakerMaxBackoff: 4 * time.Millisecond,
+		CycleAnalysis:     AnalysisConfig{MinLen: 4, MaxLen: 64, MinCoverage: 0.05},
+		Fault:             hooks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+
+	trace := chaosTrace(1, 4096)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := sp.Shard(0).AddAll(trace); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		st := sp.Stats()
+		if st.Shards[0].BreakerState == "closed" && st.CyclesAnalyzed > 0 && st.AnalysesFailed >= 3 {
+			// Recovered: trip (closed→open), probe (open→half-open), and
+			// restore (half-open→closed) are three recorded transitions.
+			if st.BreakerTransitions < 3 {
+				t.Fatalf("BreakerTransitions=%d after a full recovery cycle, want >= 3", st.BreakerTransitions)
+			}
+			checkCycleInvariant(t, st)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered; stats=%v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestChaosCloseRacesAnalysis closes the profile while slow background
+// analyses are still in flight: Close must drain the pool and return, and
+// every goroutine must exit.
+func TestChaosCloseRacesAnalysis(t *testing.T) {
+	base := runtime.NumGoroutine()
+	inj := fault.NewSeeded(fault.SeededConfig{Seed: 9, DelayRate: 1, Delay: 2 * time.Millisecond})
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            2,
+		MaxGrammarSymbols: 64,
+		AnalysisWorkers:   2,
+		CycleAnalysis:     AnalysisConfig{MinLen: 4, MaxLen: 64, MinCoverage: 0.05},
+		Fault:             inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trace := chaosTrace(i+1, 50_000)
+			for {
+				if err := sp.Shard(i).AddAll(trace); err != nil {
+					return // ErrClosed: the race landed
+				}
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let cycles queue behind slow analyses
+
+	closed := make(chan struct{})
+	go func() {
+		sp.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not return with analyses in flight")
+	}
+	wg.Wait()
+	checkCycleInvariant(t, sp.Stats())
+	waitGoroutines(t, base)
+}
+
+// TestChaosDoubleCloseBlockedProducers parks Block producers on rings the
+// injector holds permanently full, then closes the profile twice: every
+// parked Add must fail over to ErrClosed, both Closes must return, and no
+// goroutine may leak.
+func TestChaosDoubleCloseBlockedProducers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	hooks := &fault.Hooks{RingFullFn: func(int) bool { return true }}
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards: 2,
+		Policy: Block,
+		Fault:  hooks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The ring is never acceptable, so this Add parks until Close.
+			errs <- sp.Shard(i%2).Add(Ref{PC: i, Addr: uint64(i)})
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond) // let the producers park
+
+	closed := make(chan struct{})
+	go func() {
+		sp.Close()
+		sp.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("double Close did not return with producers parked on full rings")
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("parked Add returned %v, want ErrClosed", err)
+		}
+	}
+	waitGoroutines(t, base)
+}
+
+// TestConcurrentSwapsSerialized exercises the Swap build mutex: racing
+// retrains from many goroutines must each publish exactly once (the swap
+// count is exact) while observers keep stepping, under -race.
+func TestConcurrentSwapsSerialized(t *testing.T) {
+	const swappers, swapsEach = 8, 50
+	trace := chaosTrace(1, 2000)
+	streams := []Stream{{Refs: trace[:12], Heat: 100}}
+	cm, err := NewConcurrentMatcher(streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.EnableAccuracyTracking(0)
+
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				observeAll(cm, trace)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < swappers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < swapsEach; k++ {
+				var set []Stream
+				if (g+k)%2 == 0 {
+					set = streams
+				}
+				if err := cm.Swap(set, 2); err != nil {
+					t.Errorf("Swap: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+
+	if got := cm.Swaps(); got != swappers*swapsEach {
+		t.Errorf("Swaps=%d, want exactly %d", got, swappers*swapsEach)
+	}
+	// The matcher is still serviceable after the storm.
+	cm.Reset()
+	observeAll(cm, trace)
+	if cm.Observations() == 0 {
+		t.Error("matcher stopped observing after concurrent swaps")
+	}
+}
+
+// TestHotStreamsErrReportsFlushStall pins the strict/lossy reader split: a
+// stalled consumer surfaces as an error from HotStreamsErr, while the lossy
+// HotStreams wrapper returns the partial merge and records the stall in
+// Stats.FlushStalls.
+func TestHotStreamsErrReportsFlushStall(t *testing.T) {
+	cfg := ShardedConfig{Shards: 1, FlushStallTimeout: 20 * time.Millisecond}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sp := newShardedProfile(cfg) // consumers intentionally not started
+	if err := sp.Shard(0).Add(Ref{PC: 1, Addr: 8}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sp.HotStreamsErr(DefaultAnalysisConfig())
+	if !errors.Is(err, ErrFlushStalled) {
+		t.Fatalf("HotStreamsErr with a dead consumer = %v, want ErrFlushStalled", err)
+	}
+	if got := sp.Stats().FlushStalls; got != 0 {
+		t.Fatalf("FlushStalls=%d after strict reader, want 0", got)
+	}
+	sp.HotStreams(DefaultAnalysisConfig())
+	if got := sp.Stats().FlushStalls; got != 1 {
+		t.Fatalf("FlushStalls=%d after lossy reader hit a stall, want 1", got)
+	}
+}

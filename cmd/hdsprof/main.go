@@ -22,6 +22,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 
 	"hotprefetch"
 	"hotprefetch/internal/dfsm"
@@ -31,13 +34,15 @@ import (
 	"hotprefetch/internal/workload"
 )
 
-// collector records every executed data reference until its budget runs out.
+// collector records every executed data reference until its budget runs out
+// or a shutdown signal lands.
 type collector struct {
 	add     func(hotprefetch.Ref) // profiling sink (plain Profile or service shard)
 	raw     []ref.Ref             // kept when the trace will be saved
 	keepRaw bool
 	budget  int
 	machine *machine.Machine
+	stop    *atomic.Bool // SIGINT/SIGTERM: yield the machine, stop producing
 }
 
 func (c *collector) Check(pc int) (machine.Version, uint64) {
@@ -50,7 +55,7 @@ func (c *collector) TraceRef(pc int, addr machine.Word, isWrite bool) uint64 {
 		c.raw = append(c.raw, ref.Ref{PC: pc, Addr: addr})
 	}
 	c.budget--
-	if c.budget <= 0 {
+	if c.budget <= 0 || c.stop.Load() {
 		c.machine.Yield()
 	}
 	return 0
@@ -86,7 +91,20 @@ func main() {
 		profile *hotprefetch.Profile
 		svc     *hotprefetch.ShardedProfile
 	)
-	col := &collector{budget: *refs, keepRaw: *save != ""}
+	col := &collector{budget: *refs, keepRaw: *save != "", stop: new(atomic.Bool)}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the producer side
+	// and lets the run fall through to the normal flush/analyze/report path,
+	// so an interrupted profile still prints complete, drained stats. A
+	// second signal gets the default fatal behavior.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		log.Printf("received %v: stopping trace, flushing and reporting (send again to kill)", s)
+		col.stop.Store(true)
+		signal.Stop(sigc)
+	}()
 	if *service {
 		if *precise {
 			log.Fatal("-precise is not supported with -service (the service merges per-cycle fast analyses)")
@@ -128,6 +146,9 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, r := range trace {
+			if col.stop.Load() {
+				break
+			}
 			col.add(hotprefetch.Ref{PC: r.PC, Addr: r.Addr})
 		}
 		name = *load
@@ -142,7 +163,7 @@ func main() {
 		m.RT = col
 
 		m.Start()
-		for col.budget > 0 {
+		for col.budget > 0 && !col.stop.Load() {
 			st, err := m.Run(0)
 			if err != nil {
 				log.Fatal(err)
@@ -178,10 +199,16 @@ func main() {
 	)
 	switch {
 	case *service:
-		if err := svc.Flush(); err != nil {
-			log.Fatal(err)
+		// Producers are done (budget exhausted or signal): drain the rings
+		// and the analysis pool so the report and stats below are final.
+		// Close is bounded — a stalled consumer or analysis pool surfaces
+		// through HotStreamsErr instead of hanging shutdown.
+		svc.Close()
+		var err error
+		streams, err = svc.HotStreamsErr(cfg)
+		if err != nil {
+			log.Printf("partial analysis: %v", err)
 		}
-		streams = svc.HotStreams(cfg)
 		traceLen = svc.Len()
 		grammarSize = svc.Stats().GrammarSize
 	case *precise:

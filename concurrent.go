@@ -6,16 +6,17 @@ import (
 )
 
 // ConcurrentMatcher is a Matcher safe for use by multiple goroutines, with
-// lock-free hot swapping of the matched stream set. The DFSM transition
-// tables are immutable after construction, so the mutex only guards the
-// single current-state word; the common case is a short critical section
-// around an array-indexed Step.
+// hot swapping of the matched stream set. The DFSM transition tables are
+// immutable after construction, so the step mutex only guards the single
+// current-state word; the common case is a short critical section around an
+// array-indexed Step.
 //
 // The current machine is published through an atomic pointer: Swap builds
 // the replacement DFSM entirely off to the side and installs it with one
-// atomic store, so Observe never waits on a retraining build and never sees
-// a torn or half-compiled table — the paper's §5 de-optimize/re-optimize
-// transition without a stop-the-world on the detection path.
+// short lock-protected store, so Observe never waits on a retraining build
+// and never sees a torn or half-compiled table — the paper's §5
+// de-optimize/re-optimize transition without a stop-the-world on the
+// detection path.
 //
 // All callers share one match state — observations interleave into a single
 // logical reference stream, exactly as if one goroutine called Observe with
@@ -26,10 +27,28 @@ type ConcurrentMatcher struct {
 	cur      atomic.Pointer[Matcher]
 	observed atomic.Uint64
 	swaps    atomic.Uint64
+
+	// buildMu serializes Swap against concurrent Swap calls: two racing
+	// retrains used to publish in either order (double-counting swaps while
+	// leaving an arbitrary winner installed); the build mutex — deliberately
+	// not the step lock, so Observe still never waits on a build — makes
+	// publication last-writer-deterministic: each Swap's build and store are
+	// atomic with respect to other Swaps.
+	buildMu sync.Mutex
+
+	// Accuracy accounting (see EnableAccuracyTracking): the live counters
+	// belong to the current Matcher and are read under mu; counters of
+	// replaced machines accumulate in the bases so totals survive swaps.
+	trackWindow atomic.Int64
+	issuedBase  atomic.Uint64
+	hitBase     atomic.Uint64
 }
 
 // NewConcurrentMatcher builds the prefix-matching DFSM for streams (see
-// NewMatcher) and wraps it for concurrent use.
+// NewMatcher) and wraps it for concurrent use. An empty (or nil) stream set
+// is valid and yields a pass-through machine that matches nothing — the
+// deoptimized state of the paper's runtime, where detection code costs one
+// failed comparison and no prefetch ever fires.
 func NewConcurrentMatcher(streams []Stream, headLen int) (*ConcurrentMatcher, error) {
 	m, err := NewMatcher(streams, headLen)
 	if err != nil {
@@ -58,16 +77,58 @@ func (c *ConcurrentMatcher) Observe(r Ref) (prefetch []uint64, comparisons int) 
 
 // Swap retrains the matcher: it builds the DFSM for the new stream set —
 // without holding the step lock, so Observe proceeds against the old
-// machine throughout the build — and atomically publishes it positioned at
-// its start state. On error the current machine is left in place.
+// machine throughout the build — and publishes it positioned at its start
+// state. On error the current machine is left in place. Concurrent Swap
+// calls are serialized by a build mutex, so each retrain's build and
+// publication are atomic with respect to other retrains and the swap count
+// is exact. Swapping in an empty stream set installs the pass-through
+// machine (deoptimization).
 func (c *ConcurrentMatcher) Swap(streams []Stream, headLen int) error {
+	c.buildMu.Lock()
+	defer c.buildMu.Unlock()
 	m, err := NewMatcher(streams, headLen)
 	if err != nil {
 		return err
 	}
+	if w := c.trackWindow.Load(); w != 0 {
+		m.EnableAccuracyTracking(int(w))
+	}
+	// Publish under the step lock: the old machine's accuracy counters are
+	// folded into the bases in the same critical section, so no Observe can
+	// bump them between the read and the store.
+	c.mu.Lock()
+	issued, hits := c.cur.Load().AccuracyCounters()
+	c.issuedBase.Add(issued)
+	c.hitBase.Add(hits)
 	c.cur.Store(m)
+	c.mu.Unlock()
 	c.swaps.Add(1)
 	return nil
+}
+
+// EnableAccuracyTracking turns on prefetch accuracy accounting on the
+// current machine and every machine installed by future Swaps; see
+// Matcher.EnableAccuracyTracking. window <= 0 means 4096.
+func (c *ConcurrentMatcher) EnableAccuracyTracking(window int) {
+	if window <= 0 {
+		window = 4096
+	}
+	c.buildMu.Lock()
+	defer c.buildMu.Unlock()
+	c.trackWindow.Store(int64(window))
+	c.mu.Lock()
+	c.cur.Load().EnableAccuracyTracking(window)
+	c.mu.Unlock()
+}
+
+// AccuracyCounters returns the cumulative prefetch addresses issued and hit
+// across all machines this matcher has published (swaps included). Both are
+// zero until EnableAccuracyTracking.
+func (c *ConcurrentMatcher) AccuracyCounters() (issued, hits uint64) {
+	c.mu.Lock()
+	issued, hits = c.cur.Load().AccuracyCounters()
+	c.mu.Unlock()
+	return issued + c.issuedBase.Load(), hits + c.hitBase.Load()
 }
 
 // Observations returns the number of references observed so far, for service

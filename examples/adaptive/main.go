@@ -71,6 +71,67 @@ func main() {
 	}
 	fmt.Println("\nthe static stream set goes stale at the phase boundary; the adaptive")
 	fmt.Println("re-profiling cycle keeps issuing useful prefetches in both phases.")
+
+	supervised(windows)
+}
+
+// supervised runs the same phased program through the Supervisor, which
+// closes the paper's loop automatically: it optimizes from banked grammar
+// cycles, measures prefetch accuracy in windows, deoptimizes to a
+// pass-through matcher when the phase shift drags accuracy under the floor,
+// and re-optimizes from fresh evidence — no manual Swap calls anywhere.
+func supervised(windows [][]hotprefetch.Ref) {
+	svc, err := hotprefetch.NewShardedProfileConfig(hotprefetch.ShardedConfig{
+		Shards:            1,
+		MaxGrammarSymbols: 64, // tight budget so every window banks detection cycles
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+
+	matcher, err := hotprefetch.NewConcurrentMatcher(nil, 2) // starts pass-through
+	if err != nil {
+		panic(err)
+	}
+	sup, err := hotprefetch.Supervise(svc, matcher, hotprefetch.SupervisorConfig{
+		// Interval 0: we drive the supervision windows ourselves with Poll,
+		// once per program window. A server would set Interval instead and
+		// let the background loop pace itself.
+		AccuracyFloor: 0.25,
+		BadWindows:    2,
+		Analysis:      hotprefetch.AnalysisConfig{MinLen: 10, MaxLen: 60, MinUnique: 10, MinCoverage: 0.02},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer sup.Close()
+
+	fmt.Println("\nsupervised (hands-off):")
+	fmt.Println("window  phase  state-after-poll  accuracy  deopts  reopts")
+	for w, trace := range windows {
+		phase := "A"
+		if w >= 3 {
+			phase = "B"
+		}
+		// The running program: every reference feeds both the profile (the
+		// instrumented awake phase) and the matcher (the detection code).
+		for _, r := range trace {
+			svc.Shard(0).Add(r)
+			matcher.Observe(r)
+		}
+		svc.Flush()
+		// One supervision window per program window. Poll twice so a phase
+		// shift can both strike the stale matcher and, once hibernated,
+		// re-optimize within the same program window.
+		sup.Poll()
+		sup.Poll()
+		snap := sup.Snapshot()
+		fmt.Printf("%-7d %-6s %-17s %-9.2f %-7d %d\n",
+			w, phase, snap.State, snap.Accuracy, snap.Deoptimizations, snap.Reoptimizations)
+	}
+	fmt.Println("\nthe supervisor noticed the phase boundary by itself: accuracy fell,")
+	fmt.Println("it hibernated the stale matcher, and retrained it on phase-B cycles.")
 }
 
 // usefulPrefetches replays a trace through a matcher for the given streams

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSeededDeterminism checks the core chaos-harness property: the same
+// seed reproduces the same injection schedule, and different seeds diverge.
+func TestSeededDeterminism(t *testing.T) {
+	cfg := SeededConfig{
+		Seed:         42,
+		PanicRate:    0.3,
+		DelayRate:    0.2,
+		Delay:        time.Millisecond,
+		RingFullRate: 0.5,
+		StaleRate:    0.1,
+	}
+	run := func(cfg SeededConfig) (outs []Outcome, rings []bool, stales []bool) {
+		s := NewSeeded(cfg)
+		for i := 0; i < 1000; i++ {
+			outs = append(outs, s.Analysis(i%4))
+			rings = append(rings, s.RingFull(i%4))
+			stales = append(stales, s.MatcherStale())
+		}
+		return
+	}
+	o1, r1, st1 := run(cfg)
+	o2, r2, st2 := run(cfg)
+	for i := range o1 {
+		if o1[i] != o2[i] || r1[i] != r2[i] || st1[i] != st2[i] {
+			t.Fatalf("decision %d diverged across runs with the same seed", i)
+		}
+	}
+	cfg.Seed = 43
+	o3, r3, _ := run(cfg)
+	same := true
+	for i := range o1 {
+		if o1[i] != o3[i] || r1[i] != r3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 1000-decision schedules")
+	}
+}
+
+// TestSeededRates checks the rate boundaries: 0 never fires, 1 always does,
+// and the injected counters match the observed decisions exactly.
+func TestSeededRates(t *testing.T) {
+	never := NewSeeded(SeededConfig{Seed: 7})
+	for i := 0; i < 500; i++ {
+		if out := never.Analysis(0); out.Panic || out.Delay != 0 {
+			t.Fatal("zero-rate injector produced an analysis fault")
+		}
+		if never.RingFull(0) || never.MatcherStale() {
+			t.Fatal("zero-rate injector fired a ring/stale fault")
+		}
+	}
+	if never.Panics()+never.Delays()+never.RingFulls()+never.Stales() != 0 {
+		t.Error("zero-rate injector counted injections")
+	}
+
+	always := NewSeeded(SeededConfig{
+		Seed: 7, PanicRate: 1, DelayRate: 1, Delay: time.Millisecond,
+		RingFullRate: 1, StaleRate: 1,
+	})
+	const n = 500
+	for i := 0; i < n; i++ {
+		out := always.Analysis(0)
+		if !out.Panic || out.Delay != time.Millisecond {
+			t.Fatal("rate-1 injector skipped an analysis fault")
+		}
+		if !always.RingFull(0) || !always.MatcherStale() {
+			t.Fatal("rate-1 injector skipped a ring/stale fault")
+		}
+	}
+	if always.Panics() != n || always.Delays() != n || always.RingFulls() != n || always.Stales() != n {
+		t.Errorf("counters = %d/%d/%d/%d, want %d each",
+			always.Panics(), always.Delays(), always.RingFulls(), always.Stales(), n)
+	}
+}
+
+// TestSeededRateConvergence sanity-checks that a mid-range rate injects
+// roughly its share of decisions.
+func TestSeededRateConvergence(t *testing.T) {
+	s := NewSeeded(SeededConfig{Seed: 99, PanicRate: 0.25})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Analysis(0)
+	}
+	got := float64(s.Panics()) / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("panic rate converged to %.3f, want ~0.25", got)
+	}
+}
+
+// TestHooks checks nil fields are inert and set fields pass through.
+func TestHooks(t *testing.T) {
+	var empty Hooks
+	if out := empty.Analysis(0); out != (Outcome{}) {
+		t.Error("nil AnalysisFn returned a fault")
+	}
+	if empty.RingFull(0) || empty.MatcherStale() {
+		t.Error("nil hooks fired")
+	}
+	h := Hooks{
+		AnalysisFn:     func(shard int) Outcome { return Outcome{Panic: true} },
+		RingFullFn:     func(shard int) bool { return shard == 1 },
+		MatcherStaleFn: func() bool { return true },
+	}
+	if !h.Analysis(0).Panic || h.RingFull(0) || !h.RingFull(1) || !h.MatcherStale() {
+		t.Error("hooks did not pass through")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"hotprefetch/internal/fault"
 )
 
 // IngestPolicy selects how a ProfileShard behaves when its ring buffer is
@@ -73,11 +75,31 @@ var ErrClosed = errors.New("hotprefetch: Add on closed ShardedProfile")
 // shard's consumer stops making progress before reaching Flush's target.
 var ErrFlushStalled = errors.New("hotprefetch: flush stalled")
 
+// ErrAnalysisPanic wraps the recovered value of a cycle-end analysis that
+// panicked. The panic is contained to that one analysis: the shard keeps
+// ingesting, the failure is counted in Stats, and repeated failures open
+// the shard's circuit breaker.
+var ErrAnalysisPanic = errors.New("hotprefetch: analysis panicked")
+
+// ErrAnalysisTimeout is the failure recorded for a background analysis that
+// exceeded ShardedConfig.AnalysisTimeout. The runaway analysis goroutine is
+// abandoned (its profile is discarded, never reused) so the worker pool
+// keeps draining.
+var ErrAnalysisTimeout = errors.New("hotprefetch: analysis deadline exceeded")
+
+// ErrAnalysisStalled is returned (wrapped) by HotStreamsErr when the
+// background analysis pool stops making progress toward draining the
+// pending cycle analyses within FlushStallTimeout.
+var ErrAnalysisStalled = errors.New("hotprefetch: analysis pool stalled")
+
 // Defaults applied by ShardedConfig.withDefaults.
 const (
 	defaultRingCap           = 1 << 12
 	defaultSampleInterval    = 16
 	defaultFlushStallTimeout = 5 * time.Second
+	defaultBreakerThreshold  = 5
+	defaultBreakerBackoff    = 50 * time.Millisecond
+	defaultBreakerMaxBackoff = 5 * time.Second
 )
 
 // ShardedConfig configures a ShardedProfile beyond the shard count. The zero
@@ -126,6 +148,36 @@ type ShardedConfig struct {
 	// consumer goroutine (the prior behavior). Has no effect without a
 	// grammar budget.
 	AnalysisWorkers int
+
+	// AnalysisTimeout, when positive, bounds each background cycle-end
+	// analysis: a job that has not finished within the deadline is recorded
+	// as failed (ErrAnalysisTimeout), its runaway goroutine is abandoned
+	// with its profile, and the worker moves on — a slow analysis can no
+	// longer back up the pool. Zero means no deadline. Inline cycles
+	// (AnalysisWorkers == 0) run on the consumer goroutine, which must
+	// retain ownership of its grammar, so the deadline applies only to the
+	// background pool.
+	AnalysisTimeout time.Duration
+
+	// BreakerThreshold is the number of consecutive analysis failures
+	// (panics or deadline overruns) after which a shard's circuit breaker
+	// opens: while open, that shard's cycles skip analysis entirely and
+	// just recycle the grammar ("ingest-and-recycle"), counted in Stats as
+	// skipped analyses. After a backoff the breaker half-opens and lets one
+	// probe analysis through; success closes it, failure reopens it with a
+	// doubled backoff. Zero means the default of 5.
+	BreakerThreshold int
+
+	// BreakerBackoff is the initial open-state backoff; each reopen doubles
+	// it (with jitter) up to BreakerMaxBackoff. Zero means the defaults of
+	// 50ms and 5s.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+
+	// Fault, when non-nil, is consulted at the service's fault-injection
+	// points (cycle-end analysis, producer ring pushes); see internal/fault.
+	// Nil — the default — disables injection entirely.
+	Fault fault.Injector
 }
 
 // withDefaults returns the configuration with zero fields replaced by their
@@ -145,6 +197,18 @@ func (c ShardedConfig) withDefaults() ShardedConfig {
 	}
 	if c.FlushStallTimeout == 0 {
 		c.FlushStallTimeout = defaultFlushStallTimeout
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = defaultBreakerThreshold
+	}
+	if c.BreakerBackoff == 0 {
+		c.BreakerBackoff = defaultBreakerBackoff
+	}
+	if c.BreakerMaxBackoff == 0 {
+		c.BreakerMaxBackoff = defaultBreakerMaxBackoff
+	}
+	if c.BreakerMaxBackoff < c.BreakerBackoff {
+		c.BreakerMaxBackoff = c.BreakerBackoff
 	}
 	return c
 }
@@ -173,6 +237,15 @@ func (c ShardedConfig) Validate() error {
 	}
 	if c.AnalysisWorkers < 0 {
 		return fmt.Errorf("hotprefetch: negative AnalysisWorkers %d", c.AnalysisWorkers)
+	}
+	if c.AnalysisTimeout < 0 {
+		return fmt.Errorf("hotprefetch: negative AnalysisTimeout %v", c.AnalysisTimeout)
+	}
+	if c.BreakerThreshold < 0 {
+		return fmt.Errorf("hotprefetch: negative BreakerThreshold %d", c.BreakerThreshold)
+	}
+	if c.BreakerBackoff < 0 || c.BreakerMaxBackoff < 0 {
+		return fmt.Errorf("hotprefetch: negative breaker backoff (%v, %v)", c.BreakerBackoff, c.BreakerMaxBackoff)
 	}
 	if err := c.CycleAnalysis.Validate(); err != nil {
 		return fmt.Errorf("CycleAnalysis: %w", err)

@@ -423,6 +423,10 @@ func TestShardedConfigValidate(t *testing.T) {
 		{FlushStallTimeout: -time.Second},
 		{CycleAnalysis: AnalysisConfig{MinLen: -1}},
 		{AnalysisWorkers: -1},
+		{AnalysisTimeout: -time.Second},
+		{BreakerThreshold: -1},
+		{BreakerBackoff: -time.Millisecond},
+		{BreakerMaxBackoff: -time.Millisecond},
 	}
 	for i, cfg := range bad {
 		if _, err := NewShardedProfileConfig(cfg); err == nil {

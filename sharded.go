@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hotprefetch/internal/fault"
 	"hotprefetch/internal/ring"
 )
 
@@ -55,7 +56,138 @@ type ShardedProfile struct {
 	cycles            atomic.Uint64 // cycle analyses completed (inline + background)
 	lastAnalysisNanos atomic.Uint64
 	maxAnalysisNanos  atomic.Uint64
+	flushStalls       atomic.Uint64 // lossy HotStreams calls that hit a stall
 	matcher           atomic.Pointer[ConcurrentMatcher]
+	supervisor        atomic.Pointer[Supervisor]
+}
+
+// Breaker states; see breaker.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerStateName maps a breaker state to its Stats string.
+func breakerStateName(s int32) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-shard circuit breaker over cycle-end analyses: after
+// threshold consecutive failures (panics or deadline overruns) it opens and
+// the shard degrades to ingest-and-recycle without analysis, instead of
+// feeding a failing analysis path forever. After a jittered exponential
+// backoff it half-opens and admits exactly one probe analysis; success
+// closes it (resetting the backoff), failure reopens it with a doubled
+// backoff.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	minBackoff  time.Duration
+	maxBackoff  time.Duration
+	backoff     time.Duration // next open duration (pre-jitter)
+	state       int32
+	consecFails int
+	openUntil   time.Time
+	probing     bool   // a half-open probe is in flight
+	rng         uint64 // splitmix64 state for backoff jitter
+	transitions atomic.Uint64
+}
+
+func (b *breaker) nextRand() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	x := b.rng
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// allow reports whether an analysis may run now. A true return from the
+// open state admits the half-open probe; the caller must report the outcome
+// via success or failure.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.transitions.Add(1)
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.backoff = b.minBackoff
+		b.transitions.Add(1)
+	}
+}
+
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	wasProbe := b.probing
+	b.probing = false
+	switch b.state {
+	case breakerClosed:
+		if b.consecFails < b.threshold {
+			return
+		}
+	case breakerHalfOpen:
+		if !wasProbe {
+			return
+		}
+	case breakerOpen:
+		// A job admitted before the trip failed late; the breaker is
+		// already open, leave its backoff schedule alone.
+		return
+	}
+	b.state = breakerOpen
+	b.transitions.Add(1)
+	// Jittered backoff in [backoff/2, backoff], doubled per reopen up to
+	// the cap, so shards that tripped together do not probe in lockstep.
+	d := b.backoff
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(b.nextRand()%uint64(half+1))
+	}
+	b.openUntil = now.Add(d)
+	b.backoff *= 2
+	if b.backoff > b.maxBackoff {
+		b.backoff = b.maxBackoff
+	}
+}
+
+// snapshot returns the state name and transition count for Stats.
+func (b *breaker) snapshot() (string, uint64) {
+	b.mu.Lock()
+	s := b.state
+	b.mu.Unlock()
+	return breakerStateName(s), b.transitions.Load()
 }
 
 // analysisJob is one detached full profile awaiting background analysis.
@@ -68,14 +200,24 @@ type analysisJob struct {
 // from at most one goroutine at a time (the single-producer half of the SPSC
 // contract); distinct shards are fully independent.
 type ProfileShard struct {
-	q  *ring.SPSC[Ref]
-	p  *Profile
-	sp *ShardedProfile // owner; reaches the analysis pool and its stats
+	q   *ring.SPSC[Ref]
+	p   *Profile
+	sp  *ShardedProfile // owner; reaches the analysis pool and its stats
+	idx int             // shard index, used by fault injection and errors
+	inj fault.Injector  // nil unless ShardedConfig.Fault was set
 
 	policy     IngestPolicy
 	sampleN    int
 	maxSymbols int
 	cycleCfg   AnalysisConfig
+
+	// brk degrades this shard to ingest-and-recycle when its cycle-end
+	// analyses keep failing; analysesFailed/analysesSkipped account every
+	// cycle that did not complete an analysis, so resets ==
+	// completed + failed + skipped at quiescence.
+	brk             breaker
+	analysesFailed  atomic.Uint64
+	analysesSkipped atomic.Uint64
 
 	// spare holds reset profiles for double buffering (pipelined cycling):
 	// the consumer swaps one in at a cycle instead of analyzing inline, and
@@ -159,12 +301,21 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 			q:          ring.New[Ref](cfg.RingCap),
 			p:          NewProfile(),
 			sp:         sp,
+			idx:        i,
+			inj:        cfg.Fault,
 			policy:     cfg.Policy,
 			sampleN:    cfg.SampleInterval,
 			maxSymbols: cfg.MaxGrammarSymbols,
 			cycleCfg:   cfg.CycleAnalysis,
 			stop:       make(chan struct{}),
 			done:       make(chan struct{}),
+		}
+		s.brk = breaker{
+			threshold:  cfg.BreakerThreshold,
+			minBackoff: cfg.BreakerBackoff,
+			maxBackoff: cfg.BreakerMaxBackoff,
+			backoff:    cfg.BreakerBackoff,
+			rng:        uint64(i)*0x9e3779b97f4a7c15 + 1,
 		}
 		if cfg.AnalysisWorkers > 0 && cfg.MaxGrammarSymbols > 0 {
 			// Pre-warm one spare so the first phase transition is a pure
@@ -178,29 +329,113 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 }
 
 // analysisWorker drains the analysis queue: each job is one shard's full,
-// detached profile. The worker extracts its hot streams, banks them in the
-// shard's retained set, recycles the profile's storage, and returns it to
-// the shard as a future spare. Runs until the queue is closed.
+// detached profile, run with panic isolation, an optional deadline, and the
+// shard's circuit breaker consulted first. Runs until the queue is closed;
+// because every failure mode completes the job (panic recovered, deadline
+// abandoned, breaker skipped), a failing analysis path can never wedge the
+// pool.
 func (sp *ShardedProfile) analysisWorker() {
 	defer sp.workersDone.Done()
 	for job := range sp.analysisQ {
-		start := time.Now()
-		streams := job.p.HotStreams(job.shard.cycleCfg)
-		if len(streams) > 0 {
-			s := job.shard
-			s.mu.Lock()
-			s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
-			s.mu.Unlock()
-		}
-		job.p.Reset()
-		select {
-		case job.shard.spare <- job.p:
-		default: // spare buffer full; let the profile go
-		}
-		sp.noteAnalysis(time.Since(start))
-		// Last: drainAnalyses readers must see the retained merge.
-		job.shard.pending.Add(-1)
+		sp.runAnalysis(job)
 	}
+}
+
+// safeAnalyze runs one cycle-end hot-stream analysis on the calling
+// goroutine with panic isolation and fault injection. A recovered panic is
+// returned as an error wrapping ErrAnalysisPanic.
+func (s *ProfileShard) safeAnalyze(p *Profile) (streams []Stream, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			streams = nil
+			err = fmt.Errorf("hotprefetch: shard %d %w: %v", s.idx, ErrAnalysisPanic, r)
+		}
+	}()
+	if s.inj != nil {
+		f := s.inj.Analysis(s.idx)
+		if f.Delay > 0 {
+			time.Sleep(f.Delay)
+		}
+		if f.Panic {
+			panic("fault: injected analysis panic")
+		}
+	}
+	return p.HotStreams(s.cycleCfg), nil
+}
+
+// analyzeIsolated runs safeAnalyze, enforcing timeout when positive by
+// running the analysis on a helper goroutine. On a deadline overrun the
+// helper is abandoned together with the profile (abandoned == true): the
+// runaway analysis still reads p, so p must never be recycled; when the
+// helper eventually finishes, its send lands in the buffered channel and
+// both are garbage collected.
+func (s *ProfileShard) analyzeIsolated(p *Profile, timeout time.Duration) (streams []Stream, err error, abandoned bool) {
+	if timeout <= 0 {
+		streams, err = s.safeAnalyze(p)
+		return streams, err, false
+	}
+	type result struct {
+		streams []Stream
+		err     error
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := s.safeAnalyze(p)
+		done <- result{st, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.streams, r.err, false
+	case <-timer.C:
+		return nil, fmt.Errorf("hotprefetch: shard %d analysis exceeded %v: %w", s.idx, timeout, ErrAnalysisTimeout), true
+	}
+}
+
+// recycle resets a detached profile and offers it back as a spare.
+func (s *ProfileShard) recycle(p *Profile) {
+	p.Reset()
+	select {
+	case s.spare <- p:
+	default: // spare buffer full; let the profile go
+	}
+}
+
+// runAnalysis executes one background analysis job end to end: breaker
+// check, isolated analysis, retained-stream banking, profile recycling, and
+// failure accounting. It always completes the job (pending is decremented
+// on every path), which is the liveness contract drainAnalyses and Close
+// rely on.
+func (sp *ShardedProfile) runAnalysis(job analysisJob) {
+	s := job.shard
+	// Last on every path: drainAnalyses readers must see the retained
+	// merge and the failure accounting.
+	defer s.pending.Add(-1)
+	if !s.brk.allow(time.Now()) {
+		// Breaker open: degrade to ingest-and-recycle without analysis.
+		s.analysesSkipped.Add(1)
+		s.recycle(job.p)
+		return
+	}
+	start := time.Now()
+	streams, err, abandoned := s.analyzeIsolated(job.p, sp.cfg.AnalysisTimeout)
+	if err != nil {
+		s.analysesFailed.Add(1)
+		s.brk.failure(time.Now())
+		if !abandoned {
+			s.recycle(job.p)
+		}
+		return
+	}
+	s.brk.success()
+	if len(streams) > 0 {
+		s.mu.Lock()
+		s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
+		s.mu.Unlock()
+	}
+	s.recycle(job.p)
+	sp.noteAnalysis(time.Since(start))
 }
 
 // noteAnalysis records one completed cycle analysis in the pipeline stats.
@@ -215,18 +450,42 @@ func (sp *ShardedProfile) noteAnalysis(d time.Duration) {
 	}
 }
 
+// analysesDone totals the cycle analyses that have reached a terminal state
+// (completed, failed, or skipped) — the progress measure drainAnalyses
+// watches.
+func (sp *ShardedProfile) analysesDone() uint64 {
+	n := sp.cycles.Load()
+	for _, s := range sp.shards {
+		n += s.analysesFailed.Load() + s.analysesSkipped.Load()
+	}
+	return n
+}
+
 // drainAnalyses blocks until no shard has a cycle analysis queued or
 // running, so the retained sets are complete up to the analyses enqueued
-// before the call.
-func (sp *ShardedProfile) drainAnalyses() {
+// before the call. Failed and breaker-skipped analyses count as drained —
+// the isolation contract is that every job terminates — but if the pool
+// stops making progress for FlushStallTimeout (e.g. a hung analysis with no
+// AnalysisTimeout configured), drainAnalyses gives up with an error
+// wrapping ErrAnalysisStalled instead of spinning forever.
+func (sp *ShardedProfile) drainAnalyses() error {
 	if sp.analysisQ == nil {
-		return
+		return nil
 	}
-	for _, s := range sp.shards {
+	lastDone := sp.analysesDone()
+	lastProgress := time.Now()
+	for i, s := range sp.shards {
 		for s.pending.Load() > 0 {
+			if d := sp.analysesDone(); d != lastDone {
+				lastDone, lastProgress = d, time.Now()
+			} else if time.Since(lastProgress) > sp.cfg.FlushStallTimeout {
+				return fmt.Errorf("hotprefetch: shard %d has %d cycle analyses pending with no pool progress for %v: %w",
+					i, s.pending.Load(), sp.cfg.FlushStallTimeout, ErrAnalysisStalled)
+			}
 			runtime.Gosched()
 		}
 	}
+	return nil
 }
 
 // consume drains the shard's ring into its Profile until stopped.
@@ -306,17 +565,30 @@ func (s *ProfileShard) cycle() {
 		s.noteCycleStall(time.Since(start))
 		return
 	}
-	streams := s.p.HotStreams(s.cycleCfg)
+	// Inline: the consumer goroutine owns s.p throughout, so the analysis
+	// runs here under the same breaker and panic isolation as the pool
+	// (AnalysisTimeout does not apply — the grammar cannot be abandoned to
+	// a runaway goroutine when the consumer must reuse it).
+	if s.brk.allow(start) {
+		streams, err := s.safeAnalyze(s.p)
+		if err != nil {
+			s.analysesFailed.Add(1)
+			s.brk.failure(time.Now())
+		} else {
+			s.brk.success()
+			if len(streams) > 0 {
+				s.mu.Lock()
+				s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
+				s.mu.Unlock()
+			}
+			s.sp.noteAnalysis(time.Since(start))
+		}
+	} else {
+		s.analysesSkipped.Add(1)
+	}
 	s.p.Reset()
 	s.resets.Add(1)
-	if len(streams) > 0 {
-		s.mu.Lock()
-		s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
-		s.mu.Unlock()
-	}
-	d := time.Since(start)
-	s.sp.noteAnalysis(d)
-	s.noteCycleStall(d)
+	s.noteCycleStall(time.Since(start))
 }
 
 // noteCycleStall records how long one cycle blocked the ingest path.
@@ -327,6 +599,24 @@ func (s *ProfileShard) noteCycleStall(d time.Duration) {
 			return
 		}
 	}
+}
+
+// tryPush pushes one reference, treating the ring as full when the fault
+// injector simulates pressure.
+func (s *ProfileShard) tryPush(r Ref) bool {
+	if s.inj != nil && s.inj.RingFull(s.idx) {
+		return false
+	}
+	return s.q.TryPush(r)
+}
+
+// tryPushBatch pushes a run of references, treating the ring as full when
+// the fault injector simulates pressure.
+func (s *ProfileShard) tryPushBatch(refs []Ref) int {
+	if s.inj != nil && s.inj.RingFull(s.idx) {
+		return 0
+	}
+	return s.q.PushBatch(refs)
 }
 
 // retainedStreams returns a copy of the streams banked by grammar cycles.
@@ -352,7 +642,7 @@ func (s *ProfileShard) Add(r Ref) error {
 	}
 	switch s.policy {
 	case Drop:
-		if !s.q.TryPush(r) {
+		if !s.tryPush(r) {
 			s.dropped.Add(1)
 			return nil
 		}
@@ -365,7 +655,7 @@ func (s *ProfileShard) Add(r Ref) error {
 			}
 			s.skip = 0
 		}
-		if !s.q.TryPush(r) {
+		if !s.tryPush(r) {
 			s.degraded = true
 			s.skip = 0
 			s.dropped.Add(1)
@@ -378,7 +668,7 @@ func (s *ProfileShard) Add(r Ref) error {
 			s.degraded = false
 		}
 	default: // Block
-		for !s.q.TryPush(r) {
+		for !s.tryPush(r) {
 			if s.closed.Load() {
 				return ErrClosed
 			}
@@ -415,7 +705,7 @@ func (s *ProfileShard) AddBatch(refs []Ref) error {
 	}
 	switch s.policy {
 	case Drop:
-		n := s.q.PushBatch(refs)
+		n := s.tryPushBatch(refs)
 		s.pushed.Add(uint64(n))
 		if n < len(refs) {
 			s.dropped.Add(uint64(len(refs) - n))
@@ -429,7 +719,7 @@ func (s *ProfileShard) AddBatch(refs []Ref) error {
 	default: // Block
 		pushed := 0
 		for pushed < len(refs) {
-			n := s.q.PushBatch(refs[pushed:])
+			n := s.tryPushBatch(refs[pushed:])
 			if n == 0 {
 				if s.closed.Load() {
 					s.pushed.Add(uint64(pushed))
@@ -528,22 +818,29 @@ func (sp *ShardedProfile) Close() {
 	}
 }
 
-// HotStreams flushes all shards, extracts each shard's hot data streams in
-// parallel, and merges them — together with any streams retained by grammar
-// budget cycles — deduplicating identical streams with their heats summed
-// (frequency adds across shards and cycles, and heat = length × frequency),
-// re-ranked hottest first and capped at cfg.MaxStreams.
+// HotStreamsErr flushes all shards, extracts each shard's hot data streams
+// in parallel, and merges them — together with any streams retained by
+// grammar budget cycles — deduplicating identical streams with their heats
+// summed (frequency adds across shards and cycles, and heat = length ×
+// frequency), re-ranked hottest first and capped at cfg.MaxStreams.
 //
 // cfg's coverage threshold applies per shard (each shard knows only its own
 // trace length), so with N > 1 a stream must be hot within at least one
 // shard to be found — route whole logical traces to single shards to keep
 // this faithful. Producers should be quiescent, as for Flush.
-func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
-	sp.Flush()
+//
+// If a shard's consumer stalls (ErrFlushStalled) or the background analysis
+// pool stops progressing (ErrAnalysisStalled), HotStreamsErr still merges
+// and returns what it can see, together with the non-nil error — a partial
+// merge is never silently presented as complete.
+func (sp *ShardedProfile) HotStreamsErr(cfg AnalysisConfig) ([]Stream, error) {
+	err := sp.Flush()
 	// Pipelined cycling: Flush only guarantees the references were consumed;
 	// the cycles they triggered may still be in the analysis pool. Wait for
 	// those to land in the retained sets before merging.
-	sp.drainAnalyses()
+	if derr := sp.drainAnalyses(); derr != nil && err == nil {
+		err = derr
+	}
 	n := len(sp.shards)
 	perShard := make([][]Stream, 2*n)
 	var wg sync.WaitGroup
@@ -560,7 +857,35 @@ func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
 	out := mergeStreams(perShard, cfg.MaxStreams)
 	sp.mergeNanos.Add(uint64(time.Since(start)))
 	sp.mergeCount.Add(1)
+	return out, err
+}
+
+// HotStreams is the lossy convenience wrapper over HotStreamsErr: a flush
+// or analysis-pool stall is recorded in Stats.FlushStalls and the (possibly
+// partial) merge is returned anyway. Callers that must distinguish a
+// partial merge from a complete one use HotStreamsErr.
+func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
+	out, err := sp.HotStreamsErr(cfg)
+	if err != nil {
+		sp.flushStalls.Add(1)
+	}
 	return out
+}
+
+// BankedStreams merges only the streams banked by grammar-budget cycles,
+// capped at maxStreams (<= 0 for the analysis default), without touching the
+// live grammars. Unlike HotStreams and HotStreamsErr — whose live-grammar
+// analysis requires producer quiescence — BankedStreams reads each shard's
+// retained set under its lock and is safe while producers and consumers are
+// running; the Supervisor retrains from it on live traffic. Cycles whose
+// background analysis has not landed yet are simply not visible; callers
+// needing a complete cut use HotStreamsErr at quiescence instead.
+func (sp *ShardedProfile) BankedStreams(maxStreams int) []Stream {
+	perShard := make([][]Stream, len(sp.shards))
+	for i, s := range sp.shards {
+		perShard[i] = s.retainedStreams()
+	}
+	return mergeStreams(perShard, maxStreams)
 }
 
 // streamKey appends a collision-safe binary key for st to buf: the reference

@@ -47,6 +47,18 @@ type ShardStats struct {
 	// shard's ingest path: the whole analysis when cycling inline, just the
 	// grammar swap when pipelined.
 	MaxCycleStall time.Duration `json:"max_cycle_stall_ns"`
+
+	// AnalysesFailed counts cycle-end analyses that panicked or exceeded
+	// AnalysisTimeout; AnalysesSkipped counts cycles degraded to
+	// ingest-and-recycle by an open circuit breaker. At quiescence
+	// Resets == CyclesAnalyzed + AnalysesFailed + AnalysesSkipped.
+	AnalysesFailed  uint64 `json:"analyses_failed"`
+	AnalysesSkipped uint64 `json:"analyses_skipped"`
+
+	// BreakerState is the shard's circuit-breaker state ("closed", "open",
+	// or "half-open"); BreakerTransitions counts its state changes.
+	BreakerState       string `json:"breaker_state"`
+	BreakerTransitions uint64 `json:"breaker_transitions"`
 }
 
 // Stats is a point-in-time snapshot of a ShardedProfile's service counters:
@@ -92,11 +104,25 @@ type Stats struct {
 	// cycle (max over shards of ShardStats.MaxCycleStall).
 	MaxCycleStall time.Duration `json:"max_cycle_stall_ns"`
 
+	// Failure-containment totals across shards: analyses failed (panic or
+	// deadline), analyses skipped by open breakers, and breaker state
+	// transitions. FlushStalls counts lossy HotStreams calls that hit a
+	// consumer or analysis-pool stall and returned a partial merge.
+	AnalysesFailed     uint64 `json:"analyses_failed"`
+	AnalysesSkipped    uint64 `json:"analyses_skipped"`
+	BreakerTransitions uint64 `json:"breaker_transitions"`
+	FlushStalls        uint64 `json:"flush_stalls"`
+
 	// MatcherObservations is the number of references observed by the
 	// ConcurrentMatcher registered with AttachMatcher, if any;
 	// MatcherSwaps counts its lock-free retraining swaps.
 	MatcherObservations uint64 `json:"matcher_observations"`
 	MatcherSwaps        uint64 `json:"matcher_swaps"`
+
+	// Supervisor is the supervision snapshot when a Supervisor is attached
+	// (see Supervise): phase-cycle state, last accuracy window, and the
+	// deoptimize/re-optimize counts.
+	Supervisor *SupervisorStats `json:"supervisor,omitempty"`
 }
 
 // String renders the snapshot as JSON, satisfying expvar.Var.
@@ -119,6 +145,7 @@ func (sp *ShardedProfile) Stats() Stats {
 		CyclesAnalyzed:   sp.cycles.Load(),
 		LastAnalysisTime: time.Duration(sp.lastAnalysisNanos.Load()),
 		MaxAnalysisTime:  time.Duration(sp.maxAnalysisNanos.Load()),
+		FlushStalls:      sp.flushStalls.Load(),
 	}
 	if sp.analysisQ != nil {
 		st.AnalysisQueueDepth = len(sp.analysisQ)
@@ -141,7 +168,10 @@ func (sp *ShardedProfile) Stats() Stats {
 			PendingAnalyses: s.pending.Load(),
 			SpareMisses:     s.spareMisses.Load(),
 			MaxCycleStall:   time.Duration(s.maxCycleStallNanos.Load()),
+			AnalysesFailed:  s.analysesFailed.Load(),
+			AnalysesSkipped: s.analysesSkipped.Load(),
 		}
+		ss.BreakerState, ss.BreakerTransitions = s.brk.snapshot()
 		st.Shards[i] = ss
 		st.Pushed += ss.Pushed
 		st.Consumed += ss.Consumed
@@ -149,6 +179,9 @@ func (sp *ShardedProfile) Stats() Stats {
 		st.Sampled += ss.Sampled
 		st.Resets += ss.Resets
 		st.GrammarSize += ss.GrammarSize
+		st.AnalysesFailed += ss.AnalysesFailed
+		st.AnalysesSkipped += ss.AnalysesSkipped
+		st.BreakerTransitions += ss.BreakerTransitions
 		if ss.MaxCycleStall > st.MaxCycleStall {
 			st.MaxCycleStall = ss.MaxCycleStall
 		}
@@ -156,6 +189,10 @@ func (sp *ShardedProfile) Stats() Stats {
 	if m := sp.matcher.Load(); m != nil {
 		st.MatcherObservations = m.Observations()
 		st.MatcherSwaps = m.Swaps()
+	}
+	if sup := sp.supervisor.Load(); sup != nil {
+		ss := sup.Snapshot()
+		st.Supervisor = &ss
 	}
 	return st
 }

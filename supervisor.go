@@ -1,0 +1,436 @@
+package hotprefetch
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotprefetch/internal/fault"
+)
+
+// SupervisorState is one phase of the supervised runtime's cycle — the
+// paper's §5 profile → optimize → hibernate loop as a first-class state
+// machine.
+type SupervisorState int32
+
+const (
+	// StateProfiling: no optimization installed yet; the profile is
+	// accumulating evidence and the supervisor is waiting for enough banked
+	// cycles (or references) to build the first matcher.
+	StateProfiling SupervisorState = iota
+
+	// StateOptimized: a matcher trained on detected hot streams is
+	// installed and the supervisor is sampling its accuracy every window.
+	StateOptimized
+
+	// StateHibernating: the supervisor deoptimized — a pass-through matcher
+	// is installed (no prefetches, near-zero detection cost) while the
+	// profile re-accumulates fresh cycles; once enough are banked the
+	// supervisor re-optimizes and returns to StateOptimized.
+	StateHibernating
+)
+
+// String returns the state name used in Stats.
+func (s SupervisorState) String() string {
+	switch s {
+	case StateOptimized:
+		return "optimized"
+	case StateHibernating:
+		return "hibernating"
+	default:
+		return "profiling"
+	}
+}
+
+// SupervisorConfig tunes the accuracy-driven deoptimization loop. The zero
+// value is usable: manual polling, a 25% accuracy floor, three bad windows
+// to deoptimize, head length 2, and the paper's default analysis settings.
+type SupervisorConfig struct {
+	// Interval is the sampling period of the background supervision loop.
+	// Zero means no background goroutine: the caller drives the state
+	// machine by calling Poll — the deterministic mode tests and examples
+	// use. A positive Interval requires the supervised profile to have a
+	// grammar budget (MaxGrammarSymbols), because the loop retrains under
+	// live traffic and that is only safe from banked cycle streams.
+	Interval time.Duration
+
+	// AccuracyFloor is the sliding-window prefetch accuracy (hits/issued)
+	// below which a window counts as bad. Zero means 0.25.
+	AccuracyFloor float64
+
+	// BadWindows is the number of consecutive bad windows that trigger
+	// deoptimization. Zero means 3.
+	BadWindows int
+
+	// MinWindowObservations is the number of matcher observations a window
+	// must contain to be judged at all; quieter windows are inconclusive
+	// and leave the bad-window count unchanged. Zero means 256.
+	MinWindowObservations uint64
+
+	// HeadLen is the prefix length for matchers the supervisor builds.
+	// Zero means 2 (the paper's best setting, §4.3).
+	HeadLen int
+
+	// Analysis configures hot-stream extraction at (re)optimization. The
+	// zero value means DefaultAnalysisConfig.
+	Analysis AnalysisConfig
+
+	// MinFreshCycles is how many grammar-budget cycles must bank after a
+	// deoptimization (or startup) before the supervisor (re)optimizes, so
+	// a retrain never runs on the evidence that just went stale. Zero
+	// means 1. Ignored when the profile has no grammar budget.
+	MinFreshCycles uint64
+
+	// MinFreshRefs is the fallback readiness signal when the profile has
+	// no grammar budget (so cycles never bank): (re)optimize once this many
+	// references have been consumed since the last transition. Zero means
+	// 4096.
+	MinFreshRefs uint64
+
+	// ForgetOnDeoptimize, when true, clears the shards' retained stream
+	// sets at deoptimization, so re-optimization sees only streams banked
+	// after the phase change — the paper's full cycle-end deallocation.
+	// When false (the default) stale retained streams persist; they are
+	// harmless to accuracy (their heads stop matching, so they issue no
+	// prefetches) but keep matcher states alive.
+	ForgetOnDeoptimize bool
+
+	// Fault, when non-nil, lets the injector force accuracy windows stale
+	// (fault.Injector.MatcherStale), driving the deoptimization path on
+	// demand in chaos tests.
+	Fault fault.Injector
+}
+
+// withDefaults returns the configuration with zero fields replaced.
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.AccuracyFloor == 0 {
+		c.AccuracyFloor = 0.25
+	}
+	if c.BadWindows == 0 {
+		c.BadWindows = 3
+	}
+	if c.MinWindowObservations == 0 {
+		c.MinWindowObservations = 256
+	}
+	if c.HeadLen == 0 {
+		c.HeadLen = 2
+	}
+	if c.Analysis == (AnalysisConfig{}) {
+		c.Analysis = DefaultAnalysisConfig()
+	}
+	if c.MinFreshCycles == 0 {
+		c.MinFreshCycles = 1
+	}
+	if c.MinFreshRefs == 0 {
+		c.MinFreshRefs = 4096
+	}
+	return c
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c SupervisorConfig) Validate() error {
+	if c.Interval < 0 {
+		return fmt.Errorf("hotprefetch: negative supervisor Interval %v", c.Interval)
+	}
+	if c.AccuracyFloor < 0 || c.AccuracyFloor > 1 {
+		return fmt.Errorf("hotprefetch: supervisor AccuracyFloor %g outside [0, 1]", c.AccuracyFloor)
+	}
+	if c.BadWindows < 0 {
+		return fmt.Errorf("hotprefetch: negative supervisor BadWindows %d", c.BadWindows)
+	}
+	if c.HeadLen < 0 {
+		return fmt.Errorf("hotprefetch: negative supervisor HeadLen %d", c.HeadLen)
+	}
+	if err := c.Analysis.Validate(); err != nil {
+		return fmt.Errorf("supervisor Analysis: %w", err)
+	}
+	return nil
+}
+
+// SupervisorStats is the supervision slice of a Stats snapshot.
+type SupervisorStats struct {
+	// State is the current phase ("profiling", "optimized", "hibernating").
+	State string `json:"state"`
+
+	// Accuracy is the last conclusive window's hits/issued ratio (0 when
+	// no window has concluded yet or the matcher issued nothing).
+	Accuracy float64 `json:"accuracy"`
+
+	// WindowsBelowFloor is the current run of consecutive bad windows.
+	WindowsBelowFloor int `json:"windows_below_floor"`
+
+	// Deoptimizations and Reoptimizations count the supervisor's state
+	// transitions out of and back into StateOptimized.
+	Deoptimizations uint64 `json:"deoptimizations"`
+	Reoptimizations uint64 `json:"reoptimizations"`
+
+	// PrefetchesIssued and PrefetchesHit are the matcher's cumulative
+	// accuracy counters (across swaps).
+	PrefetchesIssued uint64 `json:"prefetches_issued"`
+	PrefetchesHit    uint64 `json:"prefetches_hit"`
+
+	// PollErrors counts Poll ticks that failed (flush or analysis-pool
+	// stalls during re-optimization).
+	PollErrors uint64 `json:"poll_errors"`
+}
+
+// Supervisor closes the paper's control loop over a profiling service and
+// its matcher: it measures the installed optimization's prefetch accuracy
+// in sliding windows and revokes it when it decays — deoptimizing to a
+// pass-through matcher, letting the profile re-accumulate, and retraining
+// from fresh cycles — with no manual Swap calls anywhere.
+//
+// Lifecycle: Supervise attaches a Supervisor to a ShardedProfile and a
+// ConcurrentMatcher; Close detaches and stops the background loop (if any).
+// The Supervisor never closes the profile or matcher it supervises.
+type Supervisor struct {
+	sp  *ShardedProfile
+	cm  *ConcurrentMatcher
+	cfg SupervisorConfig
+
+	state      atomic.Int32
+	deopts     atomic.Uint64
+	reopts     atomic.Uint64
+	pollErrors atomic.Uint64
+	accBits    atomic.Uint64 // math.Float64bits of the last window accuracy
+	badRun     atomic.Int64  // consecutive bad windows
+
+	// Poll-local sampling cursors; Poll is serialized by pollMu, so these
+	// need no atomics beyond the snapshot fields above.
+	pollMu       sync.Mutex
+	lastIssued   uint64
+	lastHits     uint64
+	lastObserved uint64
+
+	// Readiness baselines captured at startup and every deoptimization.
+	resetsBase   uint64
+	consumedBase uint64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Supervise wires a Supervisor over the profile and matcher: it enables
+// accuracy tracking on the matcher, registers both with the profile's Stats,
+// and — when cfg.Interval > 0 — starts the background supervision loop.
+// With Interval == 0 the caller drives the loop by calling Poll.
+func Supervise(sp *ShardedProfile, cm *ConcurrentMatcher, cfg SupervisorConfig) (*Supervisor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Interval > 0 && sp.cfg.MaxGrammarSymbols == 0 {
+		// The background loop retrains while producers are live, which is
+		// only safe from banked cycle streams; without a grammar budget no
+		// cycles ever bank and retraining would race the consumers' live
+		// grammars. Manual Poll mode (Interval 0) leaves quiescence to the
+		// caller instead.
+		return nil, fmt.Errorf("hotprefetch: supervisor Interval %v requires a profile with MaxGrammarSymbols set (background retraining reads banked cycle streams)", cfg.Interval)
+	}
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		sp:   sp,
+		cm:   cm,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	cm.EnableAccuracyTracking(0)
+	if cm.NumStates() > 1 {
+		s.state.Store(int32(StateOptimized))
+	} else {
+		s.state.Store(int32(StateProfiling))
+	}
+	st := sp.Stats()
+	s.resetsBase = st.Resets
+	s.consumedBase = st.Consumed
+	s.lastObserved = cm.Observations()
+	s.lastIssued, s.lastHits = cm.AccuracyCounters()
+	sp.AttachMatcher(cm)
+	sp.supervisor.Store(s)
+	if cfg.Interval > 0 {
+		go s.run()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// run is the background supervision loop.
+func (s *Supervisor) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if err := s.Poll(); err != nil {
+				s.pollErrors.Add(1)
+			}
+		}
+	}
+}
+
+// Close stops the background loop and detaches the supervisor from the
+// profile's Stats. Idempotent; the supervised profile and matcher are left
+// running.
+func (s *Supervisor) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.sp.supervisor.CompareAndSwap(s, nil)
+	})
+	<-s.done
+}
+
+// State returns the current phase.
+func (s *Supervisor) State() SupervisorState { return SupervisorState(s.state.Load()) }
+
+// Accuracy returns the last conclusive window's hits/issued ratio.
+func (s *Supervisor) Accuracy() float64 { return math.Float64frombits(s.accBits.Load()) }
+
+// Snapshot returns the supervision counters for Stats.
+func (s *Supervisor) Snapshot() SupervisorStats {
+	issued, hits := s.cm.AccuracyCounters()
+	return SupervisorStats{
+		State:             s.State().String(),
+		Accuracy:          s.Accuracy(),
+		WindowsBelowFloor: int(s.badRun.Load()),
+		Deoptimizations:   s.deopts.Load(),
+		Reoptimizations:   s.reopts.Load(),
+		PrefetchesIssued:  issued,
+		PrefetchesHit:     hits,
+		PollErrors:        s.pollErrors.Load(),
+	}
+}
+
+// Poll advances the state machine by one supervision window: in
+// StateOptimized it judges the accuracy window and deoptimizes after
+// cfg.BadWindows consecutive bad ones; in StateProfiling/StateHibernating
+// it re-optimizes once enough fresh evidence has banked. Poll is what the
+// background loop calls every Interval; with Interval == 0 the embedding
+// application calls it directly (it is safe to call concurrently, but
+// windows are only meaningful when polled at a roughly steady cadence).
+func (s *Supervisor) Poll() error {
+	s.pollMu.Lock()
+	defer s.pollMu.Unlock()
+	switch s.State() {
+	case StateOptimized:
+		s.judgeWindow()
+		return nil
+	default:
+		return s.tryOptimize()
+	}
+}
+
+// judgeWindow evaluates the accuracy of the observations since the last
+// poll and deoptimizes after a run of bad windows.
+func (s *Supervisor) judgeWindow() {
+	observed := s.cm.Observations()
+	issued, hits := s.cm.AccuracyCounters()
+	dObs := observed - s.lastObserved
+	dIssued := issued - s.lastIssued
+	dHits := hits - s.lastHits
+	s.lastObserved, s.lastIssued, s.lastHits = observed, issued, hits
+
+	if dObs < s.cfg.MinWindowObservations {
+		// Too quiet to judge; neither a strike nor an acquittal.
+		return
+	}
+	var acc float64
+	if dIssued > 0 {
+		acc = float64(dHits) / float64(dIssued)
+	}
+	// An optimized matcher that sees traffic but issues nothing is stale by
+	// definition (its heads no longer occur), so acc stays 0 and the window
+	// is bad. Forced staleness injection overrides a healthy measurement.
+	if s.cfg.Fault != nil && s.cfg.Fault.MatcherStale() {
+		acc = 0
+	}
+	s.accBits.Store(math.Float64bits(acc))
+	if acc >= s.cfg.AccuracyFloor {
+		s.badRun.Store(0)
+		return
+	}
+	if int(s.badRun.Add(1)) >= s.cfg.BadWindows {
+		s.deoptimize()
+	}
+}
+
+// deoptimize tears the optimization down: a pass-through matcher is
+// published (no streams, so detection degenerates to one failed comparison
+// and no prefetch ever fires) and the profile re-enters its evidence-
+// gathering phase. The paper's §5 de-optimization, triggered by measured
+// accuracy decay instead of an external call.
+func (s *Supervisor) deoptimize() {
+	if err := s.cm.Swap(nil, s.cfg.HeadLen); err != nil {
+		// Building the empty machine cannot fail with a valid HeadLen;
+		// treat a failure as a poll error rather than wedging the loop.
+		s.pollErrors.Add(1)
+		return
+	}
+	if s.cfg.ForgetOnDeoptimize {
+		for _, sh := range s.sp.shards {
+			sh.mu.Lock()
+			sh.retained = nil
+			sh.mu.Unlock()
+		}
+	}
+	st := s.sp.Stats()
+	s.resetsBase, s.consumedBase = st.Resets, st.Consumed
+	s.badRun.Store(0)
+	s.accBits.Store(0)
+	s.deopts.Add(1)
+	s.state.Store(int32(StateHibernating))
+}
+
+// tryOptimize retrains once enough fresh evidence has banked since the last
+// transition: MinFreshCycles grammar-budget cycles, or MinFreshRefs
+// consumed references when the profile has no budget (cycles never bank).
+//
+// With a budget, training reads only the banked cycle streams
+// (BankedStreams) — safe while producers are running, which is what lets
+// the background loop retrain under live traffic. Without a budget it must
+// analyze the live grammars (HotStreamsErr), which requires the quiescence
+// the manual-Poll mode gives the caller control over; Supervise therefore
+// rejects Interval > 0 on a budget-less profile.
+func (s *Supervisor) tryOptimize() error {
+	st := s.sp.Stats()
+	var streams []Stream
+	if s.sp.cfg.MaxGrammarSymbols > 0 {
+		if st.Resets-s.resetsBase < s.cfg.MinFreshCycles {
+			return nil
+		}
+		streams = s.sp.BankedStreams(s.cfg.Analysis.MaxStreams)
+	} else {
+		if st.Consumed-s.consumedBase < s.cfg.MinFreshRefs {
+			return nil
+		}
+		var err error
+		streams, err = s.sp.HotStreamsErr(s.cfg.Analysis)
+		if err != nil {
+			return err
+		}
+	}
+	if len(streams) == 0 {
+		// Evidence banked but nothing hot yet; keep profiling.
+		return nil
+	}
+	if err := s.cm.Swap(streams, s.cfg.HeadLen); err != nil {
+		return err
+	}
+	wasProfiling := s.State() == StateProfiling
+	// Start the accuracy bookkeeping from this instant so the optimization
+	// isn't judged on pre-swap silence.
+	s.lastObserved = s.cm.Observations()
+	s.lastIssued, s.lastHits = s.cm.AccuracyCounters()
+	s.badRun.Store(0)
+	s.state.Store(int32(StateOptimized))
+	if !wasProfiling {
+		s.reopts.Add(1)
+	}
+	return nil
+}

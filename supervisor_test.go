@@ -1,0 +1,352 @@
+package hotprefetch
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"hotprefetch/internal/fault"
+)
+
+// phaseTrace builds a trace dominated by one repeating hot stream whose
+// identity is offset per phase, so phase A's matcher is useless on phase B.
+func phaseTrace(phase, reps int) []Ref {
+	stream := make([]Ref, 12)
+	for i := range stream {
+		stream[i] = Ref{PC: 1000*phase + i, Addr: uint64(0x10000*phase + 8*i)}
+	}
+	var trace []Ref
+	for r := 0; r < reps; r++ {
+		trace = append(trace, stream...)
+		trace = append(trace, Ref{PC: 90000 + phase, Addr: uint64(0xdead0000 + 64*r)})
+	}
+	return trace
+}
+
+// feedUntilCycle pushes trace repetitions through shard 0 until at least one
+// fresh grammar-budget cycle banks past base, then flushes.
+func feedUntilCycle(t *testing.T, sp *ShardedProfile, trace []Ref, base uint64) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if err := sp.Shard(0).AddAll(trace); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if sp.Stats().Resets > base {
+			return
+		}
+	}
+	t.Fatalf("no grammar cycle banked past %d after 200 trace repetitions", base)
+}
+
+// observeAll drives a trace through the matcher, as inserted detection code
+// would.
+func observeAll(cm *ConcurrentMatcher, trace []Ref) {
+	for _, r := range trace {
+		cm.Observe(r)
+	}
+}
+
+// TestSupervisorDeoptimizeReoptimize is the acceptance test for the
+// supervised runtime: a workload phase shift drags prefetch accuracy below
+// the floor, the supervisor deoptimizes (Hibernating appears in Stats and a
+// pass-through matcher is installed), re-optimizes from the next banked
+// cycle, and accuracy recovers — with zero manual Swap calls anywhere.
+func TestSupervisorDeoptimizeReoptimize(t *testing.T) {
+	analysis := AnalysisConfig{MinLen: 4, MaxLen: 64, MinCoverage: 0.05}
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            1,
+		MaxGrammarSymbols: 64,
+		CycleAnalysis:     analysis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	cm, err := NewConcurrentMatcher(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Supervise(sp, cm, SupervisorConfig{
+		AccuracyFloor:         0.5,
+		BadWindows:            2,
+		MinWindowObservations: 64,
+		HeadLen:               2,
+		Analysis:              analysis,
+		MinFreshCycles:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+
+	if got := sup.State(); got != StateProfiling {
+		t.Fatalf("initial state = %v, want %v", got, StateProfiling)
+	}
+
+	// Phase A: profile until a cycle banks, then the supervisor optimizes.
+	phaseA := phaseTrace(1, 40)
+	feedUntilCycle(t, sp, phaseA, 0)
+	if err := sup.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.State(); got != StateOptimized {
+		t.Fatalf("state after first banked cycle = %v, want %v", got, StateOptimized)
+	}
+	if cm.NumStates() <= 1 {
+		t.Fatalf("optimized matcher has %d states, want > 1", cm.NumStates())
+	}
+
+	// Phase A traffic through the optimized matcher: accuracy is high, the
+	// window is good, and the supervisor stays optimized.
+	observeAll(cm, phaseA)
+	if err := sup.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.State(); got != StateOptimized {
+		t.Fatalf("state after healthy window = %v, want %v", got, StateOptimized)
+	}
+	if acc := sup.Accuracy(); acc < 0.5 {
+		t.Fatalf("phase A window accuracy = %g, want >= 0.5", acc)
+	}
+	issued, hits := cm.AccuracyCounters()
+	if issued == 0 || hits == 0 {
+		t.Fatalf("phase A counters issued=%d hits=%d, want both > 0", issued, hits)
+	}
+
+	// Phase shift: phase B references never match phase A heads, so the
+	// matcher issues nothing against real traffic — stale by definition.
+	// Two consecutive bad windows deoptimize.
+	phaseB := phaseTrace(2, 40)
+	for poll := 0; poll < 2; poll++ {
+		observeAll(cm, phaseB)
+		if err := sup.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sup.State(); got != StateHibernating {
+		t.Fatalf("state after %d stale windows = %v, want %v", 2, got, StateHibernating)
+	}
+	if cm.NumStates() != 1 {
+		t.Fatalf("deoptimized matcher has %d states, want 1 (pass-through)", cm.NumStates())
+	}
+	st := sp.Stats()
+	if st.Supervisor == nil {
+		t.Fatal("Stats.Supervisor is nil with a supervisor attached")
+	}
+	if st.Supervisor.State != "hibernating" {
+		t.Fatalf("Stats.Supervisor.State = %q, want %q", st.Supervisor.State, "hibernating")
+	}
+	if st.Supervisor.Deoptimizations != 1 {
+		t.Fatalf("Deoptimizations = %d, want 1", st.Supervisor.Deoptimizations)
+	}
+
+	// Polling while hibernating with no fresh evidence is a no-op.
+	if err := sup.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.State(); got != StateHibernating {
+		t.Fatalf("state with no fresh cycles = %v, want %v", got, StateHibernating)
+	}
+
+	// Phase B profiles; the next banked cycle re-optimizes.
+	feedUntilCycle(t, sp, phaseB, sp.Stats().Resets)
+	if err := sup.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.State(); got != StateOptimized {
+		t.Fatalf("state after fresh phase B cycle = %v, want %v", got, StateOptimized)
+	}
+	if cm.NumStates() <= 1 {
+		t.Fatalf("re-optimized matcher has %d states, want > 1", cm.NumStates())
+	}
+
+	// Accuracy recovers on phase B traffic.
+	observeAll(cm, phaseB)
+	if err := sup.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.State(); got != StateOptimized {
+		t.Fatalf("state after recovered window = %v, want %v", got, StateOptimized)
+	}
+	if acc := sup.Accuracy(); acc < 0.5 {
+		t.Fatalf("phase B window accuracy = %g, want >= 0.5", acc)
+	}
+	snap := sup.Snapshot()
+	if snap.Reoptimizations != 1 {
+		t.Fatalf("Reoptimizations = %d, want 1", snap.Reoptimizations)
+	}
+	if snap.WindowsBelowFloor != 0 {
+		t.Fatalf("WindowsBelowFloor = %d, want 0 after recovery", snap.WindowsBelowFloor)
+	}
+	// The supervisor did all the swapping: initial optimize, deoptimize,
+	// re-optimize.
+	if got := cm.Swaps(); got != 3 {
+		t.Fatalf("matcher swaps = %d, want exactly 3 (all supervisor-driven)", got)
+	}
+}
+
+// TestSupervisorForcedStaleness drives the deoptimization path with the
+// fault injector's forced-staleness point: traffic is healthy, but every
+// window is judged stale, so the supervisor must deoptimize after exactly
+// BadWindows polls.
+func TestSupervisorForcedStaleness(t *testing.T) {
+	analysis := AnalysisConfig{MinLen: 4, MaxLen: 64, MinCoverage: 0.05}
+	trace := phaseTrace(3, 40)
+	sp, err := NewShardedProfileConfig(ShardedConfig{Shards: 1, CycleAnalysis: analysis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if err := sp.Shard(0).AddAll(trace); err != nil {
+		t.Fatal(err)
+	}
+	streams, err := sp.HotStreamsErr(analysis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) == 0 {
+		t.Fatal("no hot streams detected to optimize with")
+	}
+	cm, err := NewConcurrentMatcher(streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Supervise(sp, cm, SupervisorConfig{
+		AccuracyFloor:         0.25,
+		BadWindows:            3,
+		MinWindowObservations: 64,
+		Analysis:              analysis,
+		Fault:                 &fault.Hooks{MatcherStaleFn: func() bool { return true }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	if got := sup.State(); got != StateOptimized {
+		t.Fatalf("supervising a trained matcher starts in %v, want %v", got, StateOptimized)
+	}
+	for poll := 1; poll <= 3; poll++ {
+		observeAll(cm, trace)
+		if err := sup.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		want := StateOptimized
+		if poll == 3 {
+			want = StateHibernating
+		}
+		if got := sup.State(); got != want {
+			t.Fatalf("state after forced-stale poll %d = %v, want %v", poll, got, want)
+		}
+	}
+	if got := sup.Snapshot().Deoptimizations; got != 1 {
+		t.Fatalf("Deoptimizations = %d, want 1", got)
+	}
+}
+
+// TestSupervisorBackgroundLoop runs the supervisor on its own ticker: with
+// no Poll calls at all, a profiled workload must get optimized in the
+// background, and Close must stop the loop idempotently and detach the
+// supervisor from Stats.
+func TestSupervisorBackgroundLoop(t *testing.T) {
+	analysis := AnalysisConfig{MinLen: 4, MaxLen: 64, MinCoverage: 0.05}
+	sp, err := NewShardedProfileConfig(ShardedConfig{
+		Shards:            1,
+		MaxGrammarSymbols: 64,
+		CycleAnalysis:     analysis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	cm, err := NewConcurrentMatcher(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Supervise(sp, cm, SupervisorConfig{
+		Interval: time.Millisecond,
+		Analysis: analysis,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := phaseTrace(4, 40)
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.State() != StateOptimized {
+		if time.Now().After(deadline) {
+			t.Fatalf("background loop never optimized; state=%v stats=%v", sup.State(), sp.Stats())
+		}
+		if err := sp.Shard(0).AddAll(trace); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if cm.Swaps() == 0 {
+		t.Fatal("background loop reported Optimized without swapping the matcher")
+	}
+
+	sup.Close()
+	sup.Close() // idempotent
+	if sp.Stats().Supervisor != nil {
+		t.Fatal("Stats.Supervisor still set after supervisor Close")
+	}
+}
+
+func TestSupervisorConfigValidate(t *testing.T) {
+	bad := []SupervisorConfig{
+		{Interval: -time.Second},
+		{AccuracyFloor: -0.1},
+		{AccuracyFloor: 1.5},
+		{BadWindows: -1},
+		{HeadLen: -2},
+		{Analysis: AnalysisConfig{MinLen: -1}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d (%+v) validated", i, cfg)
+		}
+	}
+	sp := NewShardedProfile(1)
+	defer sp.Close()
+	cm, err := NewConcurrentMatcher(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Supervise(sp, cm, SupervisorConfig{Interval: -time.Second}); err == nil {
+		t.Fatal("Supervise accepted a negative interval")
+	}
+	if sp.Stats().Supervisor != nil {
+		t.Fatal("failed Supervise still attached a supervisor")
+	}
+}
+
+// TestStatsJSONRoundTripWithSupervisor extends the Stats JSON contract to
+// the supervision snapshot.
+func TestStatsJSONRoundTripWithSupervisor(t *testing.T) {
+	sp := NewShardedProfile(1)
+	defer sp.Close()
+	cm, err := NewConcurrentMatcher(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Supervise(sp, cm, SupervisorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	st := sp.Stats()
+	if st.Supervisor == nil || st.Supervisor.State != "profiling" {
+		t.Fatalf("Stats.Supervisor = %+v, want profiling snapshot", st.Supervisor)
+	}
+	var back Stats
+	if err := json.Unmarshal([]byte(st.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, back) {
+		t.Fatalf("Stats did not survive the JSON round trip:\n got %+v\nwant %+v", back, st)
+	}
+}
