@@ -17,14 +17,19 @@
 package main
 
 import (
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"hotprefetch"
 	"hotprefetch/internal/dfsm"
@@ -82,6 +87,7 @@ func main() {
 	sampleN := flag.Int("samplen", 16, "service Sample policy: accept 1 in N under pressure")
 	memBudget := flag.Int("membudget", 0, "service per-shard grammar symbol budget (0 = unbounded)")
 	workers := flag.Int("workers", 0, "service background analysis workers for pipelined grammar cycles (0 = inline)")
+	metrics := flag.String("metrics", "", "serve Prometheus metrics (/metrics) and expvar (/debug/vars) on this address during a -service run, e.g. :9090")
 	flag.Parse()
 
 	// The profiling sink: a plain Profile, or — in service mode — one shard
@@ -124,12 +130,33 @@ func main() {
 			log.Fatal(err)
 		}
 		defer svc.Close()
+		if *metrics != "" {
+			ln, err := net.Listen("tcp", *metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer ln.Close()
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", svc.MetricsHandler())
+			expvar.Publish("hotprefetch", svc.ExpvarVar())
+			mux.Handle("/debug/vars", expvar.Handler())
+			srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			go func() {
+				if err := srv.Serve(ln); err != nil &&
+					err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
+					log.Printf("metrics server: %v", err)
+				}
+			}()
+			log.Printf("serving metrics on http://%s/metrics", ln.Addr())
+		}
 		shard := svc.Shard(0)
 		col.add = func(r hotprefetch.Ref) {
 			if err := shard.Add(r); err != nil {
 				log.Fatal(err)
 			}
 		}
+	} else if *metrics != "" {
+		log.Fatal("-metrics requires -service (metrics are the sharded service's)")
 	} else {
 		profile = hotprefetch.NewProfile()
 		col.add = profile.Add
@@ -228,8 +255,10 @@ func main() {
 		st := svc.Stats()
 		fmt.Printf("stats        %s\n", st)
 		if *memBudget > 0 {
-			fmt.Printf("pipeline     cycles=%d analysis(last)=%v analysis(max)=%v ingest-stall(max)=%v queue=%d\n",
-				st.CyclesAnalyzed, st.LastAnalysisTime, st.MaxAnalysisTime, st.MaxCycleStall, st.AnalysisQueueDepth)
+			al := st.AnalysisLatency
+			fmt.Printf("pipeline     cycles=%d analysis(last)=%v analysis(max)=%v analysis(mean)=%v ingest-stall(max)=%v queue=%d\n",
+				st.CyclesAnalyzed, al.LastDuration(), al.MaxDuration(),
+				time.Duration(al.Mean()), st.MaxCycleStall, st.AnalysisQueueDepth)
 		}
 	}
 	fmt.Println()

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllModes exercises the full command path — flag parsing, mode
+// lookup, simulation, report formatting — for every evaluation mode the
+// paper's figures use.
+func TestRunAllModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations are slow; skipped in -short")
+	}
+	for name := range modes {
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run([]string{"-bench", "boxsim", "-mode", name}, &out); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := out.String()
+			for _, want := range []string{
+				"benchmark            boxsim",
+				"mode                 ",
+				"baseline cycles      ",
+				"execution cycles     ",
+				"overhead             ",
+				"L1 miss ratio        ",
+				"prefetches issued    ",
+			} {
+				if !strings.Contains(got, want) {
+					t.Errorf("report missing %q:\n%s", want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRunEvents covers the -events path: the optimizer's decision log must
+// stream to the writer and end with the completion summary.
+func TestRunEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations are slow; skipped in -short")
+	}
+	var out strings.Builder
+	if err := run([]string{"-bench", "boxsim", "-mode", "dyn-pref", "-events"}, &out); err != nil {
+		t.Fatalf("run -events: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "done: ") {
+		t.Errorf("missing completion summary:\n%s", got)
+	}
+	if !strings.Contains(got, "optimization cycles") {
+		t.Errorf("missing cycle count in summary:\n%s", got)
+	}
+}
+
+// TestRunErrors pins the failure modes: bad flags, unknown mode, unknown
+// benchmark (with and without -events).
+func TestRunErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown mode", []string{"-mode", "warp-speed"}, `unknown mode "warp-speed"`},
+		{"unknown bench", []string{"-bench", "nosuch"}, `"nosuch"`},
+		{"unknown bench events", []string{"-bench", "nosuch", "-events"}, `unknown benchmark "nosuch"`},
+		{"bad flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tc.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -3,6 +3,8 @@ package hotprefetch
 import (
 	"sync"
 	"sync/atomic"
+
+	"hotprefetch/internal/obs"
 )
 
 // ConcurrentMatcher is a Matcher safe for use by multiple goroutines, with
@@ -42,6 +44,17 @@ type ConcurrentMatcher struct {
 	trackWindow atomic.Int64
 	issuedBase  atomic.Uint64
 	hitBase     atomic.Uint64
+
+	// obs, when set (see SetObserver), receives a KindMatcherSwap event for
+	// each published retrain. AttachMatcher sets it so swaps land in the
+	// same trace as the grammar cycles that triggered them.
+	obs atomic.Pointer[obs.Observer]
+}
+
+// SetObserver points the matcher's event emission at o (nil detaches).
+// ShardedProfile.AttachMatcher calls this with the profile's Observer.
+func (c *ConcurrentMatcher) SetObserver(o *obs.Observer) {
+	c.obs.Store(o)
 }
 
 // NewConcurrentMatcher builds the prefix-matching DFSM for streams (see
@@ -103,6 +116,11 @@ func (c *ConcurrentMatcher) Swap(streams []Stream, headLen int) error {
 	c.cur.Store(m)
 	c.mu.Unlock()
 	c.swaps.Add(1)
+	if o := c.obs.Load(); o != nil {
+		// Value carries the new machine's stream count: zero marks a
+		// deoptimizing swap to the pass-through machine.
+		o.Emit(obs.KindMatcherSwap, -1, uint64(len(streams)))
+	}
 	return nil
 }
 

@@ -26,9 +26,11 @@
 package dfsm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -457,7 +459,11 @@ func (d *DFSM) compile() {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				rankPartition(lo, hi)
+				// Label the fan-out so CPU profiles attribute compile time to
+				// the machine-build phase rather than anonymous goroutines.
+				pprof.Do(context.Background(), pprof.Labels("hotprefetch_phase", "dfsm_compile"), func(context.Context) {
+					rankPartition(lo, hi)
+				})
 			}(lo, hi)
 		}
 		wg.Wait()

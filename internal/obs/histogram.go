@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation: Observe
+// is a linear scan of a small immutable bound table plus four atomic adds,
+// so concurrent recorders (shard consumers, analysis workers, the
+// supervisor) never contend on a lock and never allocate. Bucket counts are
+// stored per bucket (non-cumulative) and summed cumulatively at exposition,
+// the way Prometheus expects.
+//
+// Values are recorded in raw integer units (nanoseconds for durations,
+// permille for ratios) and converted to the exported unit (seconds, ratio)
+// only at exposition, so the hot path never touches floating point.
+type Histogram struct {
+	name    string
+	help    string
+	perUnit float64  // raw units per exported unit (1e9 ns/s, 1e3 permille/ratio)
+	upper   []uint64 // bucket upper bounds, raw units, strictly increasing
+
+	counts []atomic.Uint64 // len(upper)+1; last bucket is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // raw units
+	last   atomic.Uint64
+	max    atomic.Uint64
+}
+
+// durationBounds covers 1µs to 10s in a 1-2-5 decade ladder — wide enough
+// for both a 2µs pipelined grammar swap and a multi-second stalled flush.
+var durationBounds = []uint64{
+	1_000, 2_000, 5_000, // 1µs, 2µs, 5µs
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000, // 1ms ...
+	10_000_000, 20_000_000, 50_000_000,
+	100_000_000, 200_000_000, 500_000_000,
+	1_000_000_000, 2_000_000_000, 5_000_000_000, // 1s ...
+	10_000_000_000,
+}
+
+// ratioBounds covers [0, 1] in 0.1 steps, recorded in permille.
+var ratioBounds = []uint64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+
+// NewDurationHistogram returns a histogram over durationBounds whose raw
+// unit is nanoseconds and whose exported unit is seconds.
+func NewDurationHistogram(name, help string) *Histogram {
+	return NewHistogram(name, help, durationBounds, 1e9)
+}
+
+// NewRatioHistogram returns a histogram over ratioBounds whose raw unit is
+// permille and whose exported unit is the plain ratio.
+func NewRatioHistogram(name, help string) *Histogram {
+	return NewHistogram(name, help, ratioBounds, 1e3)
+}
+
+// NewHistogram returns a histogram with the given strictly increasing upper
+// bounds (raw units) and the number of raw units per exported unit. The
+// bounds slice is retained; callers must not mutate it.
+func NewHistogram(name, help string, upper []uint64, perUnit float64) *Histogram {
+	for i := 1; i < len(upper); i++ {
+		if upper[i] <= upper[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		name:    name,
+		help:    help,
+		perUnit: perUnit,
+		upper:   upper,
+		counts:  make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// Name returns the exported metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value in raw units. Lock- and allocation-free.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.last.Store(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d (clamped below at zero) in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// ObserveRatio records r (clamped to [0, 1]) in permille.
+func (h *Histogram) ObserveRatio(r float64) {
+	if r < 0 {
+		r = 0
+	} else if r > 1 {
+		r = 1
+	}
+	h.Observe(uint64(r * 1000))
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below UpperBound (raw units) and above the previous bound.
+type Bucket struct {
+	UpperBound uint64 `json:"le"`    // raw units; the last bucket is +Inf (reported as 0)
+	Count      uint64 `json:"count"` // non-cumulative
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, the replacement
+// for the lossy last/max scalar pair: Count and Sum give the mean, Buckets
+// the distribution, Last and Max the scalars the old fields carried. Raw
+// units are nanoseconds for duration histograms and permille for ratio
+// histograms. The snapshot is approximate under concurrency (each counter
+// is read atomically, but not all at the same instant).
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Last    uint64   `json:"last"`
+	Max     uint64   `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// SumDuration returns Sum as a time.Duration (duration histograms only).
+func (s HistogramSnapshot) SumDuration() time.Duration { return time.Duration(s.Sum) }
+
+// LastDuration returns Last as a time.Duration (duration histograms only).
+func (s HistogramSnapshot) LastDuration() time.Duration { return time.Duration(s.Last) }
+
+// MaxDuration returns Max as a time.Duration (duration histograms only).
+func (s HistogramSnapshot) MaxDuration() time.Duration { return time.Duration(s.Max) }
+
+// Mean returns the mean observed value in raw units (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot copies the histogram's counters. Buckets with zero count are
+// included so consumers can reconstruct the full bound table.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Last:    h.last.Load(),
+		Max:     h.max.Load(),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	for i := range h.counts {
+		var ub uint64
+		if i < len(h.upper) {
+			ub = h.upper[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: h.counts[i].Load()}
+	}
+	return s
+}
+
+// Merge adds other's bucket counts and totals into h. Both histograms must
+// share the same bound table (same constructor); Merge panics otherwise.
+// Merge is how per-shard histograms fold into a service-wide view without
+// the Add path ever taking a lock.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(other.counts) != len(h.counts) {
+		panic("obs: merging histograms with different bucket layouts")
+	}
+	for i := range h.counts {
+		h.counts[i].Add(other.counts[i].Load())
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	if l := other.last.Load(); l != 0 {
+		h.last.Store(l)
+	}
+	for {
+		om, cur := other.max.Load(), h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"hotprefetch/internal/ref"
+)
+
+// encode builds a valid trace file for seeding.
+func encode(t testing.TB, refs []ref.Ref) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := Write(&b, refs); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// FuzzRead feeds arbitrary bytes to the trace parser: it must never panic or
+// over-allocate, and anything it accepts must survive a write/read round
+// trip bit-for-bit (the decoder and encoder agree on the format).
+func FuzzRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(magic[:])
+	f.Add(encode(f, nil))
+	f.Add(encode(f, []ref.Ref{{PC: 1, Addr: 8}}))
+	f.Add(encode(f, []ref.Ref{
+		{PC: 10, Addr: 0x1000},
+		{PC: 11, Addr: 0x1008},
+		{PC: 10, Addr: 0x1000},
+		{PC: 12, Addr: 0xffffffffffffffff},
+	}))
+	// Truncations and corruptions of a valid file.
+	valid := encode(f, []ref.Ref{{PC: 3, Addr: 24}, {PC: 4, Addr: 32}})
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:9])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[6] = 2 // wrong version byte
+	f.Add(corrupt)
+	// A tiny file claiming an enormous count: must fail or stay small, not
+	// pre-allocate gigabytes.
+	huge := append([]byte(nil), magic[:]...)
+	var v [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(v[:], 1<<32)
+	f.Add(append(huge, v[:n]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out := encode(t, refs)
+		refs2, err := Read(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-read of re-encoded trace failed: %v", err)
+		}
+		if len(refs2) != len(refs) {
+			t.Fatalf("round trip changed count: %d != %d", len(refs2), len(refs))
+		}
+		for i := range refs {
+			if refs[i] != refs2[i] {
+				t.Fatalf("round trip changed ref %d: %+v != %+v", i, refs[i], refs2[i])
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip builds a trace from fuzz-chosen bytes and requires the
+// write/read cycle to reproduce it exactly, whatever the deltas look like
+// (negative, huge, zigzag edge cases).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var refs []ref.Ref
+		for len(data) >= 16 {
+			refs = append(refs, ref.Ref{
+				PC:   int(int64(binary.LittleEndian.Uint64(data[:8]))),
+				Addr: binary.LittleEndian.Uint64(data[8:16]),
+			})
+			data = data[16:]
+		}
+		var b bytes.Buffer
+		if err := Write(&b, refs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&b)
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("count %d != %d", len(got), len(refs))
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("ref %d: %+v != %+v", i, got[i], refs[i])
+			}
+		}
+	})
+}

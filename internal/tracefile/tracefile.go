@@ -68,7 +68,14 @@ func Read(r io.Reader) ([]ref.Ref, error) {
 	if count < 0 || count > 1<<32 {
 		return nil, fmt.Errorf("tracefile: implausible count %d", count)
 	}
-	refs := make([]ref.Ref, 0, count)
+	// Pre-size from the header only up to a modest cap: the count is
+	// attacker-controlled (a 9-byte file can claim 2^32 refs), so beyond the
+	// cap the slice grows only as actual data arrives.
+	sizeHint := count
+	if sizeHint > 1<<16 {
+		sizeHint = 1 << 16
+	}
+	refs := make([]ref.Ref, 0, sizeHint)
 	prevPC := int64(0)
 	prevAddr := int64(0)
 	for i := int64(0); i < count; i++ {

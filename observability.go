@@ -1,0 +1,100 @@
+package hotprefetch
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+
+	"hotprefetch/internal/obs"
+)
+
+// The observability layer lives in internal/obs; these aliases re-export the
+// types that appear in the public API (Stats snapshots, Tracer subscription)
+// so importers never need to reach into an internal package.
+
+// Observer is the observability hub a ShardedProfile emits phase events and
+// latency observations into; see ShardedConfig.Observer and
+// ShardedProfile.Observer.
+type Observer = obs.Observer
+
+// Event is one structured phase event; see Observer.Subscribe.
+type Event = obs.Event
+
+// EventKind identifies a phase event's type.
+type EventKind = obs.Kind
+
+// Tracer receives every phase event synchronously at emission.
+type Tracer = obs.Tracer
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc = obs.TracerFunc
+
+// HistogramSnapshot is a point-in-time copy of a latency or ratio
+// distribution, carried by Stats.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// Re-exported event kinds; see the internal/obs documentation for each
+// kind's Value payload.
+const (
+	EventPhaseProfiling   = obs.KindPhaseProfiling
+	EventPhaseOptimized   = obs.KindPhaseOptimized
+	EventPhaseHibernating = obs.KindPhaseHibernating
+	EventCycleStart       = obs.KindCycleStart
+	EventCycleAnalyzed    = obs.KindCycleAnalyzed
+	EventCycleBanked      = obs.KindCycleBanked
+	EventAnalysisFailed   = obs.KindAnalysisFailed
+	EventAnalysisSkipped  = obs.KindAnalysisSkipped
+	EventBreakerOpen      = obs.KindBreakerOpen
+	EventBreakerHalfOpen  = obs.KindBreakerHalfOpen
+	EventBreakerClosed    = obs.KindBreakerClosed
+	EventMatcherSwap      = obs.KindMatcherSwap
+)
+
+// WriteMetrics writes the profile's metrics in Prometheus text exposition
+// format (version 0.0.4): the observer's latency histograms and phase-event
+// counters, plus counter and gauge series derived from a Stats snapshot.
+func (sp *ShardedProfile) WriteMetrics(w io.Writer) {
+	sp.obs.WritePrometheus(w)
+	st := sp.Stats()
+	obs.WriteCounter(w, "hotprefetch_refs_pushed_total", "References accepted into shard rings.", st.Pushed)
+	obs.WriteCounter(w, "hotprefetch_refs_consumed_total", "References compressed into grammars.", st.Consumed)
+	obs.WriteCounter(w, "hotprefetch_refs_dropped_total", "References shed on full rings.", st.Dropped)
+	obs.WriteCounter(w, "hotprefetch_refs_sampled_out_total", "References skipped by sampling degradation.", st.Sampled)
+	obs.WriteCounter(w, "hotprefetch_grammar_resets_total", "Grammar budget cycles across shards.", st.Resets)
+	obs.WriteCounter(w, "hotprefetch_cycles_analyzed_total", "Cycle-end analyses completed.", st.CyclesAnalyzed)
+	obs.WriteCounter(w, "hotprefetch_analyses_failed_total", "Cycle-end analyses that panicked or timed out.", st.AnalysesFailed)
+	obs.WriteCounter(w, "hotprefetch_analyses_skipped_total", "Cycles degraded to ingest-and-recycle by open breakers.", st.AnalysesSkipped)
+	obs.WriteCounter(w, "hotprefetch_breaker_transitions_total", "Circuit-breaker state changes across shards.", st.BreakerTransitions)
+	obs.WriteCounter(w, "hotprefetch_flush_stalls_total", "Lossy HotStreams calls that returned a partial merge.", st.FlushStalls)
+	obs.WriteGauge(w, "hotprefetch_grammar_symbols", "Live grammar size summed across shards.", float64(st.GrammarSize))
+	obs.WriteGauge(w, "hotprefetch_analysis_queue_depth", "Full grammars waiting for a background analysis worker.", float64(st.AnalysisQueueDepth))
+	obs.WriteCounter(w, "hotprefetch_matcher_observations_total", "References observed by the attached matcher.", st.MatcherObservations)
+	obs.WriteCounter(w, "hotprefetch_matcher_swaps_total", "Matcher retraining swaps published.", st.MatcherSwaps)
+	if sup := st.Supervisor; sup != nil {
+		obs.WriteGauge(w, "hotprefetch_supervisor_accuracy", "Last conclusive accuracy window's hits/issued ratio.", sup.Accuracy)
+		obs.WriteGauge(w, "hotprefetch_supervisor_windows_below_floor", "Current run of consecutive bad accuracy windows.", float64(sup.WindowsBelowFloor))
+		obs.WriteCounter(w, "hotprefetch_supervisor_deoptimizations_total", "Transitions out of the optimized phase.", sup.Deoptimizations)
+		obs.WriteCounter(w, "hotprefetch_supervisor_reoptimizations_total", "Transitions back into the optimized phase.", sup.Reoptimizations)
+		obs.WriteCounter(w, "hotprefetch_prefetches_issued_total", "Prefetch addresses issued by the matcher.", sup.PrefetchesIssued)
+		obs.WriteCounter(w, "hotprefetch_prefetches_hit_total", "Issued prefetch addresses subsequently referenced.", sup.PrefetchesHit)
+	}
+}
+
+// MetricsHandler returns an http.Handler serving WriteMetrics — a
+// dependency-free Prometheus scrape endpoint:
+//
+//	http.Handle("/metrics", sp.MetricsHandler())
+func (sp *ShardedProfile) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		sp.WriteMetrics(w)
+	})
+}
+
+// ExpvarVar adapts the profile's Stats to expvar.Var, for publication on the
+// standard debug endpoint:
+//
+//	expvar.Publish("hotprefetch", sp.ExpvarVar())
+func (sp *ShardedProfile) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any { return sp.Stats() })
+}

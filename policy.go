@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hotprefetch/internal/fault"
+	"hotprefetch/internal/obs"
 )
 
 // IngestPolicy selects how a ProfileShard behaves when its ring buffer is
@@ -178,6 +179,14 @@ type ShardedConfig struct {
 	// points (cycle-end analysis, producer ring pushes); see internal/fault.
 	// Nil — the default — disables injection entirely.
 	Fault fault.Injector
+
+	// Observer, when non-nil, is the observability hub the profile emits
+	// phase events and latency observations into — supply one to subscribe
+	// Tracers before ingestion starts or to share a hub across components.
+	// Nil means the profile creates its own (observability is always on;
+	// emission is allocation-free and phase-granular, so there is nothing
+	// to turn off). Reach it via ShardedProfile.Observer.
+	Observer *obs.Observer
 }
 
 // withDefaults returns the configuration with zero fields replaced by their

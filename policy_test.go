@@ -701,8 +701,12 @@ func TestGrammarSwapRacesAddStats(t *testing.T) {
 	if st.CyclesAnalyzed != st.Resets {
 		t.Errorf("CyclesAnalyzed = %d, want %d (every cycle analyzed after drain)", st.CyclesAnalyzed, st.Resets)
 	}
-	if st.MaxAnalysisTime == 0 {
-		t.Error("MaxAnalysisTime = 0 after background cycles")
+	if st.AnalysisLatency.Max == 0 {
+		t.Error("AnalysisLatency.Max = 0 after background cycles")
+	}
+	if st.AnalysisLatency.Count != st.CyclesAnalyzed {
+		t.Errorf("AnalysisLatency.Count = %d, want %d (one observation per analyzed cycle)",
+			st.AnalysisLatency.Count, st.CyclesAnalyzed)
 	}
 	sp.Close()
 	if st := sp.Stats(); st.AnalysisQueueDepth != 0 {

@@ -1,15 +1,19 @@
 package hotprefetch
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hotprefetch/internal/fault"
+	"hotprefetch/internal/obs"
 	"hotprefetch/internal/ring"
 )
 
@@ -51,15 +55,22 @@ type ShardedProfile struct {
 	analysisQ   chan analysisJob
 	workersDone sync.WaitGroup
 
-	mergeCount        atomic.Uint64 // HotStreams merge passes
-	mergeNanos        atomic.Uint64 // cumulative time spent merging
-	cycles            atomic.Uint64 // cycle analyses completed (inline + background)
-	lastAnalysisNanos atomic.Uint64
-	maxAnalysisNanos  atomic.Uint64
-	flushStalls       atomic.Uint64 // lossy HotStreams calls that hit a stall
-	matcher           atomic.Pointer[ConcurrentMatcher]
-	supervisor        atomic.Pointer[Supervisor]
+	mergeCount  atomic.Uint64 // HotStreams merge passes
+	mergeNanos  atomic.Uint64 // cumulative time spent merging
+	cycles      atomic.Uint64 // cycle analyses completed (inline + background)
+	flushStalls atomic.Uint64 // lossy HotStreams calls that hit a stall
+	matcher     atomic.Pointer[ConcurrentMatcher]
+	supervisor  atomic.Pointer[Supervisor]
+
+	// obs is the observability hub (never nil): phase events, latency
+	// histograms, and the Prometheus exporter's source. See Observer.
+	obs *obs.Observer
 }
+
+// Observer returns the profile's observability hub: subscribe a Tracer for
+// the phase-event timeline, or read the latency histograms directly. The
+// same hub is what MetricsHandler exposes in Prometheus text format.
+func (sp *ShardedProfile) Observer() *obs.Observer { return sp.obs }
 
 // Breaker states; see breaker.
 const (
@@ -99,6 +110,19 @@ type breaker struct {
 	probing     bool   // a half-open probe is in flight
 	rng         uint64 // splitmix64 state for backoff jitter
 	transitions atomic.Uint64
+
+	// onTransition, when non-nil, is called with the new state after every
+	// state change — outside the breaker lock, so the callback may emit
+	// phase events (whose tracers must never be invoked under an internal
+	// lock they could want to read through).
+	onTransition func(newState int32)
+}
+
+// notify invokes onTransition for state; call only with b.mu released.
+func (b *breaker) notify(state int32) {
+	if b.onTransition != nil {
+		b.onTransition(state)
+	}
 }
 
 func (b *breaker) nextRand() uint64 {
@@ -114,57 +138,68 @@ func (b *breaker) nextRand() uint64 {
 // via success or failure.
 func (b *breaker) allow(now time.Time) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
+		b.mu.Unlock()
 		return true
 	case breakerOpen:
 		if now.Before(b.openUntil) {
+			b.mu.Unlock()
 			return false
 		}
 		b.state = breakerHalfOpen
 		b.probing = true
 		b.transitions.Add(1)
+		b.mu.Unlock()
+		b.notify(breakerHalfOpen)
 		return true
 	default: // half-open
 		if b.probing {
+			b.mu.Unlock()
 			return false
 		}
 		b.probing = true
+		b.mu.Unlock()
 		return true
 	}
 }
 
 func (b *breaker) success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.consecFails = 0
 	b.probing = false
-	if b.state != breakerClosed {
+	closed := b.state != breakerClosed
+	if closed {
 		b.state = breakerClosed
 		b.backoff = b.minBackoff
 		b.transitions.Add(1)
+	}
+	b.mu.Unlock()
+	if closed {
+		b.notify(breakerClosed)
 	}
 }
 
 func (b *breaker) failure(now time.Time) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.consecFails++
 	wasProbe := b.probing
 	b.probing = false
 	switch b.state {
 	case breakerClosed:
 		if b.consecFails < b.threshold {
+			b.mu.Unlock()
 			return
 		}
 	case breakerHalfOpen:
 		if !wasProbe {
+			b.mu.Unlock()
 			return
 		}
 	case breakerOpen:
 		// A job admitted before the trip failed late; the breaker is
 		// already open, leave its backoff schedule alone.
+		b.mu.Unlock()
 		return
 	}
 	b.state = breakerOpen
@@ -180,6 +215,8 @@ func (b *breaker) failure(now time.Time) {
 	if b.backoff > b.maxBackoff {
 		b.backoff = b.maxBackoff
 	}
+	b.mu.Unlock()
+	b.notify(breakerOpen)
 }
 
 // snapshot returns the state name and transition count for Stats.
@@ -290,6 +327,10 @@ func NewShardedProfileConfig(cfg ShardedConfig) (*ShardedProfile, error) {
 func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 	cfg = cfg.withDefaults()
 	sp := &ShardedProfile{shards: make([]*ProfileShard, cfg.Shards), cfg: cfg}
+	sp.obs = cfg.Observer
+	if sp.obs == nil {
+		sp.obs = obs.New()
+	}
 	if cfg.AnalysisWorkers > 0 {
 		// Queue capacity of two jobs per shard: a shard can have at most one
 		// analysis in flight per spare it can draw, and the spare channel
@@ -317,6 +358,17 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 			backoff:    cfg.BreakerBackoff,
 			rng:        uint64(i)*0x9e3779b97f4a7c15 + 1,
 		}
+		shard := i
+		s.brk.onTransition = func(newState int32) {
+			switch newState {
+			case breakerOpen:
+				sp.obs.Emit(obs.KindBreakerOpen, shard, 0)
+			case breakerHalfOpen:
+				sp.obs.Emit(obs.KindBreakerHalfOpen, shard, 0)
+			default:
+				sp.obs.Emit(obs.KindBreakerClosed, shard, 0)
+			}
+		}
 		if cfg.AnalysisWorkers > 0 && cfg.MaxGrammarSymbols > 0 {
 			// Pre-warm one spare so the first phase transition is a pure
 			// pointer swap.
@@ -334,11 +386,17 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 // because every failure mode completes the job (panic recovered, deadline
 // abandoned, breaker skipped), a failing analysis path can never wedge the
 // pool.
+// Analysis workers, shard consumers, and the supervisor loop run under
+// runtime/pprof profiler labels so a CPU profile attributes time to the
+// paper's phases directly: filter on hotprefetch_phase=analysis to see what
+// cycle-end hot-stream extraction costs, ingest for Sequitur compression.
 func (sp *ShardedProfile) analysisWorker() {
 	defer sp.workersDone.Done()
-	for job := range sp.analysisQ {
-		sp.runAnalysis(job)
-	}
+	pprof.Do(context.Background(), pprof.Labels("hotprefetch_phase", "analysis"), func(context.Context) {
+		for job := range sp.analysisQ {
+			sp.runAnalysis(job)
+		}
+	})
 }
 
 // safeAnalyze runs one cycle-end hot-stream analysis on the calling
@@ -415,6 +473,7 @@ func (sp *ShardedProfile) runAnalysis(job analysisJob) {
 	if !s.brk.allow(time.Now()) {
 		// Breaker open: degrade to ingest-and-recycle without analysis.
 		s.analysesSkipped.Add(1)
+		sp.obs.Emit(obs.KindAnalysisSkipped, s.idx, 0)
 		s.recycle(job.p)
 		return
 	}
@@ -422,6 +481,7 @@ func (sp *ShardedProfile) runAnalysis(job analysisJob) {
 	streams, err, abandoned := s.analyzeIsolated(job.p, sp.cfg.AnalysisTimeout)
 	if err != nil {
 		s.analysesFailed.Add(1)
+		sp.obs.Emit(obs.KindAnalysisFailed, s.idx, 0)
 		s.brk.failure(time.Now())
 		if !abandoned {
 			s.recycle(job.p)
@@ -429,25 +489,34 @@ func (sp *ShardedProfile) runAnalysis(job analysisJob) {
 		return
 	}
 	s.brk.success()
-	if len(streams) > 0 {
-		s.mu.Lock()
-		s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
-		s.mu.Unlock()
-	}
+	sp.noteAnalysis(s, time.Since(start))
+	s.bank(streams)
 	s.recycle(job.p)
-	sp.noteAnalysis(time.Since(start))
 }
 
-// noteAnalysis records one completed cycle analysis in the pipeline stats.
-func (sp *ShardedProfile) noteAnalysis(d time.Duration) {
-	sp.cycles.Add(1)
-	sp.lastAnalysisNanos.Store(uint64(d))
-	for {
-		cur := sp.maxAnalysisNanos.Load()
-		if uint64(d) <= cur || sp.maxAnalysisNanos.CompareAndSwap(cur, uint64(d)) {
-			return
-		}
+// bank merges one completed cycle's hot streams into the retained set.
+func (s *ProfileShard) bank(streams []Stream) {
+	if len(streams) == 0 {
+		return
 	}
+	s.mu.Lock()
+	s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
+	s.mu.Unlock()
+	s.sp.obs.Emit(obs.KindCycleBanked, s.idx, uint64(len(streams)))
+}
+
+// noteAnalysis records one completed cycle analysis: the counter feeding
+// the Resets invariant, the latency histogram, and the phase event.
+//
+// Counter-ordering contract (see Stats): a cycle's reset is counted before
+// its analysis reaches a terminal state, and Stats reads the terminal
+// counters before the resets, so every snapshot satisfies
+// CyclesAnalyzed + AnalysesFailed + AnalysesSkipped <= Resets, with
+// equality at quiescence.
+func (sp *ShardedProfile) noteAnalysis(s *ProfileShard, d time.Duration) {
+	sp.cycles.Add(1)
+	sp.obs.AnalysisLatency.ObserveDuration(d)
+	sp.obs.Emit(obs.KindCycleAnalyzed, s.idx, uint64(d))
 }
 
 // analysesDone totals the cycle analyses that have reached a terminal state
@@ -491,6 +560,12 @@ func (sp *ShardedProfile) drainAnalyses() error {
 // consume drains the shard's ring into its Profile until stopped.
 func (s *ProfileShard) consume() {
 	defer close(s.done)
+	pprof.Do(context.Background(),
+		pprof.Labels("hotprefetch_phase", "ingest", "hotprefetch_shard", strconv.Itoa(s.idx)),
+		func(context.Context) { s.consumeLoop() })
+}
+
+func (s *ProfileShard) consumeLoop() {
 	var batch [256]Ref
 	for {
 		n := s.q.PopBatch(batch[:])
@@ -545,8 +620,13 @@ func (s *ProfileShard) apply(refs []Ref) {
 // Inline (no pool): extract hot streams, bank them, and recycle the grammar
 // before returning, stalling ingestion for the whole analysis (the paper
 // §5's cycle-end deallocation, run synchronously).
+// In both modes the shard's reset is counted before the cycle's analysis
+// can reach a terminal state (analyzed, failed, or skipped), so a Stats
+// snapshot taken mid-cycle never sees the terminal counters ahead of
+// Resets — the snapshot invariant documented on Stats.
 func (s *ProfileShard) cycle() {
 	start := time.Now()
+	s.sp.obs.Emit(obs.KindCycleStart, s.idx, uint64(s.p.GrammarSize()))
 	if s.spare != nil {
 		full := s.p
 		var next *Profile
@@ -560,8 +640,11 @@ func (s *ProfileShard) cycle() {
 		}
 		s.p = next
 		s.pending.Add(1)
-		s.sp.analysisQ <- analysisJob{shard: s, p: full}
+		// Count the reset before the job is visible to a worker: once the
+		// send lands, the analysis may complete at any moment, and its
+		// terminal counter must never be observable ahead of this one.
 		s.resets.Add(1)
+		s.sp.analysisQ <- analysisJob{shard: s, p: full}
 		s.noteCycleStall(time.Since(start))
 		return
 	}
@@ -569,30 +652,31 @@ func (s *ProfileShard) cycle() {
 	// runs here under the same breaker and panic isolation as the pool
 	// (AnalysisTimeout does not apply — the grammar cannot be abandoned to
 	// a runaway goroutine when the consumer must reuse it).
+	s.resets.Add(1)
 	if s.brk.allow(start) {
 		streams, err := s.safeAnalyze(s.p)
 		if err != nil {
 			s.analysesFailed.Add(1)
+			s.sp.obs.Emit(obs.KindAnalysisFailed, s.idx, 0)
 			s.brk.failure(time.Now())
 		} else {
 			s.brk.success()
-			if len(streams) > 0 {
-				s.mu.Lock()
-				s.retained = mergeStreams([][]Stream{s.retained, streams}, s.cycleCfg.MaxStreams)
-				s.mu.Unlock()
-			}
-			s.sp.noteAnalysis(time.Since(start))
+			s.sp.noteAnalysis(s, time.Since(start))
+			s.bank(streams)
 		}
 	} else {
 		s.analysesSkipped.Add(1)
+		s.sp.obs.Emit(obs.KindAnalysisSkipped, s.idx, 0)
 	}
 	s.p.Reset()
-	s.resets.Add(1)
 	s.noteCycleStall(time.Since(start))
 }
 
-// noteCycleStall records how long one cycle blocked the ingest path.
+// noteCycleStall records how long one cycle blocked the ingest path: the
+// per-shard max the benchmarks report, and the service-wide stall
+// distribution.
 func (s *ProfileShard) noteCycleStall(d time.Duration) {
+	s.sp.obs.IngestStall.ObserveDuration(d)
 	for {
 		cur := s.maxCycleStallNanos.Load()
 		if uint64(d) <= cur || s.maxCycleStallNanos.CompareAndSwap(cur, uint64(d)) {
@@ -756,6 +840,8 @@ func (sp *ShardedProfile) Shard(i int) *ProfileShard { return sp.shards[i] }
 // FlushStallTimeout, Flush gives up with an error wrapping ErrFlushStalled
 // instead of spinning forever.
 func (sp *ShardedProfile) Flush() error {
+	start := time.Now()
+	defer func() { sp.obs.FlushLatency.ObserveDuration(time.Since(start)) }()
 	for i, s := range sp.shards {
 		target := s.pushed.Load()
 		last := s.consumed.Load()

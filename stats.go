@@ -92,13 +92,30 @@ type Stats struct {
 	// Pipeline counters (all zero when AnalysisWorkers == 0 and no budget
 	// cycles have run): AnalysisQueueDepth is the number of full grammars
 	// waiting for a background worker right now; CyclesAnalyzed counts
-	// cycle-end analyses completed (inline or background); LastAnalysisTime
-	// and MaxAnalysisTime are the latest and worst single-cycle analysis
-	// latencies.
-	AnalysisQueueDepth int           `json:"analysis_queue_depth"`
-	CyclesAnalyzed     uint64        `json:"cycles_analyzed"`
-	LastAnalysisTime   time.Duration `json:"last_analysis_time_ns"`
-	MaxAnalysisTime    time.Duration `json:"max_analysis_time_ns"`
+	// cycle-end analyses completed (inline or background).
+	//
+	// At every snapshot — not just at quiescence —
+	// CyclesAnalyzed + AnalysesFailed + AnalysesSkipped <= Resets: a
+	// cycle's reset is counted before its analysis can reach a terminal
+	// state, and the snapshot reads the terminal counters before the
+	// resets, so the books can run behind (cycles still in flight) but
+	// never ahead. At quiescence the two sides are equal.
+	AnalysisQueueDepth int    `json:"analysis_queue_depth"`
+	CyclesAnalyzed     uint64 `json:"cycles_analyzed"`
+
+	// Latency distributions, replacing the lossy last/max scalar pair the
+	// snapshot used to carry (the old values survive as the snapshots' Last
+	// and Max fields): per-cycle analysis latency, the ingest-path stall
+	// each grammar cycle charged, and Flush wall time. Raw units are
+	// nanoseconds; see obs.HistogramSnapshot.
+	AnalysisLatency HistogramSnapshot `json:"analysis_latency"`
+	IngestStall     HistogramSnapshot `json:"ingest_stall"`
+	FlushLatency    HistogramSnapshot `json:"flush_latency"`
+
+	// AccuracyWindows is the distribution of supervisor accuracy-window
+	// hit ratios (raw unit permille); all-zero until a Supervisor judges
+	// its first conclusive window.
+	AccuracyWindows HistogramSnapshot `json:"accuracy_windows"`
 
 	// MaxCycleStall is the worst per-shard ingest stall charged to a grammar
 	// cycle (max over shards of ShardStats.MaxCycleStall).
@@ -138,14 +155,20 @@ func (st Stats) String() string {
 // Stats returns a snapshot of the profile's service counters. It does not
 // flush: the snapshot reflects ingestion as it stands, backlog included.
 func (sp *ShardedProfile) Stats() Stats {
+	// CyclesAnalyzed must be read before any shard's resets counter so the
+	// snapshot invariant CyclesAnalyzed + AnalysesFailed + AnalysesSkipped
+	// <= Resets holds at every sample; see noteAnalysis for the writer side
+	// of the contract.
 	st := Stats{
-		Shards:           make([]ShardStats, len(sp.shards)),
-		MergeCount:       sp.mergeCount.Load(),
-		MergeTime:        time.Duration(sp.mergeNanos.Load()),
-		CyclesAnalyzed:   sp.cycles.Load(),
-		LastAnalysisTime: time.Duration(sp.lastAnalysisNanos.Load()),
-		MaxAnalysisTime:  time.Duration(sp.maxAnalysisNanos.Load()),
-		FlushStalls:      sp.flushStalls.Load(),
+		Shards:          make([]ShardStats, len(sp.shards)),
+		MergeCount:      sp.mergeCount.Load(),
+		MergeTime:       time.Duration(sp.mergeNanos.Load()),
+		CyclesAnalyzed:  sp.cycles.Load(),
+		FlushStalls:     sp.flushStalls.Load(),
+		AnalysisLatency: sp.obs.AnalysisLatency.Snapshot(),
+		IngestStall:     sp.obs.IngestStall.Snapshot(),
+		FlushLatency:    sp.obs.FlushLatency.Snapshot(),
+		AccuracyWindows: sp.obs.AccuracyWindow.Snapshot(),
 	}
 	if sp.analysisQ != nil {
 		st.AnalysisQueueDepth = len(sp.analysisQ)
@@ -154,6 +177,9 @@ func (sp *ShardedProfile) Stats() Stats {
 		s.mu.Lock()
 		retained := len(s.retained)
 		s.mu.Unlock()
+		// Terminal analysis counters before resets, per the snapshot
+		// invariant's read ordering.
+		failed, skipped := s.analysesFailed.Load(), s.analysesSkipped.Load()
 		ss := ShardStats{
 			Pushed:          s.pushed.Load(),
 			Consumed:        s.consumed.Load(),
@@ -168,8 +194,8 @@ func (sp *ShardedProfile) Stats() Stats {
 			PendingAnalyses: s.pending.Load(),
 			SpareMisses:     s.spareMisses.Load(),
 			MaxCycleStall:   time.Duration(s.maxCycleStallNanos.Load()),
-			AnalysesFailed:  s.analysesFailed.Load(),
-			AnalysesSkipped: s.analysesSkipped.Load(),
+			AnalysesFailed:  failed,
+			AnalysesSkipped: skipped,
 		}
 		ss.BreakerState, ss.BreakerTransitions = s.brk.snapshot()
 		st.Shards[i] = ss
@@ -199,7 +225,12 @@ func (sp *ShardedProfile) Stats() Stats {
 
 // AttachMatcher registers the ConcurrentMatcher whose observation count
 // Stats should report — typically the matcher serving the streams this
-// profile detected. A nil matcher detaches.
+// profile detected. Attaching also points the matcher's event emission at
+// this profile's Observer, so its retraining swaps land in the same trace
+// as the cycles that produced them. A nil matcher detaches.
 func (sp *ShardedProfile) AttachMatcher(m *ConcurrentMatcher) {
+	if m != nil {
+		m.SetObserver(sp.obs)
+	}
 	sp.matcher.Store(m)
 }

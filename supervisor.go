@@ -1,13 +1,16 @@
 package hotprefetch
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hotprefetch/internal/fault"
+	"hotprefetch/internal/obs"
 )
 
 // SupervisorState is one phase of the supervised runtime's cycle — the
@@ -240,8 +243,10 @@ func Supervise(sp *ShardedProfile, cm *ConcurrentMatcher, cfg SupervisorConfig) 
 	cm.EnableAccuracyTracking(0)
 	if cm.NumStates() > 1 {
 		s.state.Store(int32(StateOptimized))
+		sp.obs.Emit(obs.KindPhaseOptimized, -1, uint64(cm.NumStates()))
 	} else {
 		s.state.Store(int32(StateProfiling))
+		sp.obs.Emit(obs.KindPhaseProfiling, -1, 0)
 	}
 	st := sp.Stats()
 	s.resetsBase = st.Resets
@@ -258,21 +263,24 @@ func Supervise(sp *ShardedProfile, cm *ConcurrentMatcher, cfg SupervisorConfig) 
 	return s, nil
 }
 
-// run is the background supervision loop.
+// run is the background supervision loop, labeled for profile attribution
+// (see DESIGN.md §9).
 func (s *Supervisor) run() {
 	defer close(s.done)
-	ticker := time.NewTicker(s.cfg.Interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-ticker.C:
-			if err := s.Poll(); err != nil {
-				s.pollErrors.Add(1)
+	pprof.Do(context.Background(), pprof.Labels("hotprefetch_phase", "supervise"), func(context.Context) {
+		ticker := time.NewTicker(s.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				if err := s.Poll(); err != nil {
+					s.pollErrors.Add(1)
+				}
 			}
 		}
-	}
+	})
 }
 
 // Close stops the background loop and detaches the supervisor from the
@@ -351,6 +359,7 @@ func (s *Supervisor) judgeWindow() {
 		acc = 0
 	}
 	s.accBits.Store(math.Float64bits(acc))
+	s.sp.obs.AccuracyWindow.ObserveRatio(acc)
 	if acc >= s.cfg.AccuracyFloor {
 		s.badRun.Store(0)
 		return
@@ -385,6 +394,8 @@ func (s *Supervisor) deoptimize() {
 	s.accBits.Store(0)
 	s.deopts.Add(1)
 	s.state.Store(int32(StateHibernating))
+	// Value carries the run of bad windows that triggered the teardown.
+	s.sp.obs.Emit(obs.KindPhaseHibernating, -1, uint64(s.cfg.BadWindows))
 }
 
 // tryOptimize retrains once enough fresh evidence has banked since the last
@@ -429,6 +440,8 @@ func (s *Supervisor) tryOptimize() error {
 	s.lastIssued, s.lastHits = s.cm.AccuracyCounters()
 	s.badRun.Store(0)
 	s.state.Store(int32(StateOptimized))
+	// Value carries the number of hot streams the new machine serves.
+	s.sp.obs.Emit(obs.KindPhaseOptimized, -1, uint64(len(streams)))
 	if !wasProfiling {
 		s.reopts.Add(1)
 	}

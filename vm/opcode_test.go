@@ -1,0 +1,233 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// opcodePrograms is one small halting program per assembly opcode, each
+// arranged so the run completes only if the opcode does its job (a wrong
+// branch or a clobbered register either halts immediately — suspiciously
+// cheap — or never reaches ret and fails the loop guard).
+var opcodePrograms = []struct {
+	op  string
+	src string
+	// minCycles guards against the degenerate "branched straight to ret"
+	// miscompilation: a correct run must cost at least this much.
+	minCycles uint64
+}{
+	{"nop", `
+proc main
+  nop
+  nop
+  ret
+`, 1},
+	{"arith", `
+proc main
+  arith 100
+  ret
+`, 100},
+	{"const+move", `
+proc main
+  const r1, 7
+  move r2, r1
+loop:
+  arith 3
+  loop r2, loop
+  ret
+`, 21},
+	{"addimm", `
+proc main
+  const r1, 0
+  addimm r1, r1, 5
+loop:
+  arith 2
+  loop r1, loop
+  ret
+`, 10},
+	{"load", `
+proc main
+  const r1, 16
+  load r2, [r1+0]
+loop:
+  arith 1
+  loop r2, loop
+  ret
+`, 4},
+	{"store", `
+proc main
+  const r1, 16
+  const r2, 6
+  store [r1+8], r2
+  load r3, [r1+8]
+loop:
+  arith 2
+  loop r3, loop
+  ret
+`, 12},
+	{"prefetch", `
+proc main
+  const r1, 64
+  prefetch [r1+0]
+  load r2, [r1+0]
+  ret
+`, 1},
+	{"jump", `
+proc main
+  const r1, 3
+  jump over
+  arith 10000
+over:
+  arith 5
+  ret
+`, 5},
+	{"beqz", `
+proc main
+  const r1, 0
+  beqz r1, taken
+  arith 10000
+taken:
+  arith 7
+  ret
+`, 7},
+	{"bnez", `
+proc main
+  const r1, 9
+  bnez r1, taken
+  arith 10000
+taken:
+  arith 7
+  ret
+`, 7},
+	{"loop", `
+proc main
+  const r1, 12
+again:
+  arith 4
+  loop r1, again
+  ret
+`, 48},
+	{"call", `
+proc main
+  call helper
+  call helper
+  ret
+
+proc helper
+  arith 11
+  ret
+`, 22},
+	{"calli+constproc", `
+proc main
+  constproc r5, helper
+  calli r5
+  ret
+
+proc helper
+  arith 13
+  ret
+`, 13},
+	{"check", `
+proc main
+  check
+  arith 2
+  ret
+`, 2},
+}
+
+// TestOpcodes drives every assembly opcode through the public vm surface:
+// each program must assemble, disassemble to something mentioning its
+// opcode, and execute deterministically both unoptimized and under the full
+// dynamic prefetching system.
+func TestOpcodes(t *testing.T) {
+	for _, tc := range opcodePrograms {
+		t.Run(tc.op, func(t *testing.T) {
+			prog, err := Assemble(tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			mnemonic, _, _ := strings.Cut(tc.op, "+")
+			if d := prog.Disasm(); !strings.Contains(d, mnemonic) {
+				t.Errorf("disassembly does not mention %q:\n%s", mnemonic, d)
+			}
+			m := NewMachine(prog, MachineConfig{HeapWords: 1 << 12})
+			// Word 16 seeds the load/store programs with a small loop count.
+			m.WriteWord(16, 3)
+			cycles, err := m.RunUnoptimized()
+			if err != nil {
+				t.Fatalf("unoptimized: %v", err)
+			}
+			if cycles < tc.minCycles {
+				t.Errorf("run cost %d cycles, want >= %d (opcode misbehaving?)", cycles, tc.minCycles)
+			}
+			again, err := m.RunUnoptimized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != cycles {
+				t.Errorf("non-deterministic: %d then %d cycles", cycles, again)
+			}
+			// The instrumented pipeline must accept the same program.
+			cfg := DefaultOptimizeConfig()
+			cfg.SamplingDenominator = 4
+			rep, err := m.RunOptimized(cfg)
+			if err != nil {
+				t.Fatalf("optimized: %v", err)
+			}
+			if rep.Cycles == 0 {
+				t.Error("optimized run reported 0 cycles")
+			}
+		})
+	}
+}
+
+// TestNewMachineDefaults exercises the zero-config path: default heap size
+// and the paper's default cache hierarchy.
+func TestNewMachineDefaults(t *testing.T) {
+	prog, err := Assemble("proc main\n arith 1\n ret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog, MachineConfig{})
+	if got := len(m.image); got != 1<<16 {
+		t.Errorf("default heap = %d words, want %d", got, 1<<16)
+	}
+	if m.cfg.Cache == (CacheConfig{}) {
+		t.Error("cache config not defaulted")
+	}
+	if _, err := m.RunUnoptimized(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizedVariants covers the scheduling and static one-shot knobs of
+// RunOptimized on the pointer-chasing workload.
+func TestOptimizedVariants(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*OptimizeConfig)
+	}{
+		{"scheduled", func(c *OptimizeConfig) { c.ScheduleChunk = 4 }},
+		{"static", func(c *OptimizeConfig) { c.Static = true }},
+		{"scheduled-static", func(c *OptimizeConfig) { c.ScheduleChunk = 2; c.Static = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := chaseMachine(t)
+			cfg := DefaultOptimizeConfig()
+			cfg.SamplingDenominator = 4
+			cfg.AwakePeriods = 4
+			cfg.HibernatePeriods = 40
+			tc.mut(&cfg)
+			rep, err := m.RunOptimized(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OptCycles == 0 {
+				t.Error("no optimization cycles completed")
+			}
+			if rep.Prefetches == 0 {
+				t.Error("no prefetches issued")
+			}
+		})
+	}
+}
