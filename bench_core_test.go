@@ -84,6 +84,31 @@ func BenchmarkGrammarAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkGrammarAppendRun measures the batch-aware Sequitur append on
+// pre-interned symbols in runs of 256 — the burst shape the sampling front
+// end delivers — isolating what AppendRun's one-epoch digram handling saves
+// over BenchmarkGrammarAppend's per-symbol path.
+func BenchmarkGrammarAppendRun(b *testing.B) {
+	refs := coreTrace(1 << 16)
+	vals := make([]uint64, len(refs))
+	for i, r := range refs {
+		vals[i] = uint64(r.PC)<<32 | r.Addr&0xffffffff
+	}
+	g := sequitur.New()
+	g.AppendAll(vals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const run = 256
+	pos := 0
+	for i := 0; i < b.N; i += run {
+		if pos+run > len(vals) {
+			pos = 0
+		}
+		g.AppendRun(vals[pos : pos+run])
+		pos += run
+	}
+}
+
 // BenchmarkMatcherObserve measures one observed reference through the
 // injected-check model: the per-reference cost charged as detection overhead.
 func BenchmarkMatcherObserve(b *testing.B) {

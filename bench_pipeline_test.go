@@ -17,10 +17,12 @@ import (
 
 // BenchmarkAddBatch measures end-to-end ingestion (producer push through
 // consumer compression) per reference at increasing batch sizes; batch1 is
-// the per-reference Add baseline.
+// the per-reference Add baseline. The curve should be monotone: every
+// doubling of the batch amortizes the same per-batch overhead (ring fence,
+// digram-table epoch) over more references.
 func BenchmarkAddBatch(b *testing.B) {
 	trace := coreTrace(1 << 16)
-	for _, size := range []int{1, 16, 256} {
+	for _, size := range []int{1, 4, 16, 256} {
 		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
 			sp := NewShardedProfile(1)
 			defer sp.Close()
@@ -37,6 +39,65 @@ func BenchmarkAddBatch(b *testing.B) {
 				pos += size
 			}
 		})
+	}
+}
+
+// BenchmarkAddBatchBurst is BenchmarkAddBatch with the paper's bursty
+// sampling front end enabled: the per-reference cost collapses to the burst
+// controller's checking-phase bookkeeping (one Skip subtraction per
+// checking span), since ~99.5% of references are shed before the ring.
+func BenchmarkAddBatchBurst(b *testing.B) {
+	trace := coreTrace(1 << 16)
+	for _, size := range []int{1, 256} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			sp, err := NewShardedProfileConfig(ShardedConfig{
+				Shards: 1,
+				Burst:  BurstConfig{Enabled: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			pos := 0
+			for i := 0; i < b.N; i += size {
+				if pos+size > len(trace) {
+					pos = 0
+				}
+				if err := sp.AddBatch(0, trace[pos:pos+size]); err != nil {
+					b.Fatal(err)
+				}
+				pos += size
+			}
+			b.StopTimer()
+			st := sp.Stats()
+			if total := st.Pushed + st.Dropped + st.Sampled + st.BurstShed; st.BurstShed == 0 && total > 1<<16 {
+				b.Fatal("burst front end shed nothing; sampling not exercised")
+			}
+		})
+	}
+}
+
+// BenchmarkAddBatchAuto measures batched ingestion through shard-per-P
+// placement (AddBatchAuto): the AddBatch path plus one procPin read and an
+// uncontended producer-lock CAS per batch.
+func BenchmarkAddBatchAuto(b *testing.B) {
+	trace := coreTrace(1 << 16)
+	sp := NewShardedProfile(1)
+	defer sp.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	const size = 256
+	pos := 0
+	for i := 0; i < b.N; i += size {
+		if pos+size > len(trace) {
+			pos = 0
+		}
+		if err := sp.AddBatchAuto(trace[pos : pos+size]); err != nil {
+			b.Fatal(err)
+		}
+		pos += size
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"hotprefetch/internal/burst"
 	"hotprefetch/internal/experiment"
 	"hotprefetch/internal/stats"
 	"hotprefetch/internal/workload"
@@ -28,7 +29,7 @@ func main() {
 
 	fig := flag.Int("fig", 0, "regenerate figure 11 or 12")
 	table := flag.Int("table", 0, "regenerate table 2")
-	ablation := flag.String("ablation", "", "run an ablation: headlen, hardware, static, schedule, hybrid, stability, motivation, or reuse")
+	ablation := flag.String("ablation", "", "run an ablation: headlen, hardware, static, schedule, hybrid, stability, motivation, sampling, or reuse")
 	bench := flag.String("bench", "", "restrict to one benchmark (default: all six)")
 	all := flag.Bool("all", false, "regenerate everything")
 	format := flag.String("format", "text", "output format for figures/tables: text, csv, or chart")
@@ -147,6 +148,21 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(stats.RenderMotivation(results))
+	}
+	if *all || *ablation == "sampling" {
+		for _, cfg := range []struct {
+			title string
+			bcfg  burst.Config
+		}{
+			{"paper 0.5% rate, 60-ref bursts", experiment.PaperSamplingConfig()},
+			{"scaled 5% rate, 60-ref bursts", experiment.ScaledSamplingConfig()},
+		} {
+			results, err := experiment.SamplingComparison(params, 0, cfg.bcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(stats.RenderSampling(cfg.title, results))
+		}
 	}
 	if *all || *ablation == "reuse" {
 		results, err := experiment.ReuseDistances(params, 0)

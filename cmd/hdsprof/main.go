@@ -87,6 +87,7 @@ func main() {
 	sampleN := flag.Int("samplen", 16, "service Sample policy: accept 1 in N under pressure")
 	memBudget := flag.Int("membudget", 0, "service per-shard grammar symbol budget (0 = unbounded)")
 	workers := flag.Int("workers", 0, "service background analysis workers for pipelined grammar cycles (0 = inline)")
+	burstFlag := flag.String("burst", "off", "service bursty-sampling front end: off, paper, or nCheck:nInstr:nAwake:nHibernate")
 	metrics := flag.String("metrics", "", "serve Prometheus metrics (/metrics) and expvar (/debug/vars) on this address during a -service run, e.g. :9090")
 	flag.Parse()
 
@@ -119,12 +120,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		burstCfg, err := hotprefetch.ParseBurstConfig(*burstFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
 		svc, err = hotprefetch.NewShardedProfileConfig(hotprefetch.ShardedConfig{
 			Shards:            1,
 			Policy:            pol,
 			SampleInterval:    *sampleN,
 			MaxGrammarSymbols: *memBudget,
 			AnalysisWorkers:   *workers,
+			Burst:             burstCfg,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -254,6 +260,10 @@ func main() {
 	if *service {
 		st := svc.Stats()
 		fmt.Printf("stats        %s\n", st)
+		if *burstFlag != "off" && *burstFlag != "" {
+			fmt.Printf("burst        shed=%d pushed=%d phase=%s duty-phases=%d\n",
+				st.BurstShed, st.Pushed, st.Shards[0].BurstPhase, st.BurstDuty.Count)
+		}
 		if *memBudget > 0 {
 			al := st.AnalysisLatency
 			fmt.Printf("pipeline     cycles=%d analysis(last)=%v analysis(max)=%v analysis(mean)=%v ingest-stall(max)=%v queue=%d\n",

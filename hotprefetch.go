@@ -148,6 +148,10 @@ func (c AnalysisConfig) internal() hotds.Config {
 type Profile struct {
 	grammar  *sequitur.Grammar
 	interner *ref.Interner
+
+	// symbuf is AddBatch's reusable interned-symbol scratch, so feeding a
+	// burst through AppendRun stays allocation-free in steady state.
+	symbuf []uint64
 }
 
 // NewProfile returns an empty profile.
@@ -166,11 +170,22 @@ func (p *Profile) Add(r Ref) {
 
 // AddBatch appends a burst of references in order — the batch entry point
 // mirroring how bursty tracing delivers references in bursts rather than
-// singletons (§2.2).
+// singletons (§2.2). The burst is interned in one pass and compressed with
+// one batch-aware grammar run (sequitur.AppendRun), which amortizes
+// digram-table epochs and hashing across the burst; the resulting profile is
+// identical to per-reference Add calls.
 func (p *Profile) AddBatch(refs []Ref) {
-	for _, r := range refs {
-		p.Add(r)
+	if len(refs) == 0 {
+		return
 	}
+	if cap(p.symbuf) < len(refs) {
+		p.symbuf = make([]uint64, len(refs))
+	}
+	buf := p.symbuf[:len(refs)]
+	for i, r := range refs {
+		buf[i] = uint64(p.interner.Intern(ref.Ref{PC: r.PC, Addr: r.Addr}))
+	}
+	p.grammar.AppendRun(buf)
 }
 
 // AddAll appends each reference in order.

@@ -252,3 +252,70 @@ func BenchmarkCheck(b *testing.B) {
 		}
 	}
 }
+
+// TestSkipMatchesChecks is the differential check for the batch fast path:
+// interleaving Skip calls of arbitrary sizes with single Checks must drive
+// the controller through exactly the same trajectory as per-check stepping,
+// since every skipped check would have returned (false, false).
+func TestSkipMatchesChecks(t *testing.T) {
+	cfg := Config{NCheck0: 37, NInstr0: 5, NAwake0: 3, NHibernate0: 4}
+	batched, stepped := New(cfg), New(cfg)
+	phaseFlip := func(c *Controller, ended bool) {
+		if !ended {
+			return
+		}
+		if c.Awake() {
+			c.Hibernate()
+		} else {
+			c.Wake()
+		}
+	}
+	rng := uint64(1)
+	total := 0
+	for total < 200000 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		want := int64(rng>>33)%23 + 1
+		n := batched.Skip(want)
+		if n > want {
+			t.Fatalf("Skip(%d) consumed %d", want, n)
+		}
+		for i := int64(0); i < n; i++ {
+			inst, ended := stepped.Check()
+			if inst || ended {
+				t.Fatalf("skipped check %d/%d was not a quiet checking step (instrumented=%v ended=%v)", i, n, inst, ended)
+			}
+		}
+		bi, be := batched.Check()
+		si, se := stepped.Check()
+		if bi != si || be != se {
+			t.Fatalf("after %d checks: batched (%v,%v) != stepped (%v,%v)", total, bi, be, si, se)
+		}
+		phaseFlip(batched, be)
+		phaseFlip(stepped, se)
+		total += int(n) + 1
+		if batched.Stats() != stepped.Stats() {
+			t.Fatalf("stats diverged: %+v vs %+v", batched.Stats(), stepped.Stats())
+		}
+		if batched.Phase() != stepped.Phase() {
+			t.Fatalf("phase diverged: %v vs %v", batched.Phase(), stepped.Phase())
+		}
+	}
+}
+
+// TestSkipRefusesInstrumented pins Skip's boundary behavior: no progress in
+// instrumented code, and never consuming the check that would transfer.
+func TestSkipRefusesInstrumented(t *testing.T) {
+	c := New(Config{NCheck0: 5, NInstr0: 2, NAwake0: 10, NHibernate0: 10})
+	if n := c.Skip(100); n != 4 {
+		t.Fatalf("Skip(100) = %d, want 4 (nCheck0-1)", n)
+	}
+	if n := c.Skip(100); n != 0 {
+		t.Fatalf("Skip at transfer boundary = %d, want 0", n)
+	}
+	if inst, _ := c.Check(); !inst {
+		t.Fatal("transfer check not instrumented after Skip left it in place")
+	}
+	if n := c.Skip(100); n != 0 {
+		t.Fatalf("Skip in instrumented code = %d, want 0", n)
+	}
+}

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"testing"
+
+	"hotprefetch/internal/workload"
+)
+
+// TestSamplingPreservesHotStreams is the acceptance check behind the
+// paper's sampling premise: at the scaled 5% rate, the sampled profile must
+// rediscover most of the lossless top streams on a stream-rich workload.
+func TestSamplingPreservesHotStreams(t *testing.T) {
+	refs := 240000
+	if testing.Short() {
+		refs = 60000
+	}
+	res, err := SamplingComparison([]workload.Params{workload.Mcf()}, refs, ScaledSamplingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.SampledRefs == 0 || r.Rate > 0.10 || r.Rate < 0.01 {
+		t.Fatalf("achieved rate %.4f (sampled %d of %d), want ~0.05", r.Rate, r.SampledRefs, r.TotalRefs)
+	}
+	if r.LosslessStreams == 0 || r.SampledStreams == 0 {
+		t.Fatalf("degenerate stream counts: lossless %d, sampled %d", r.LosslessStreams, r.SampledStreams)
+	}
+	if r.TopRecall < 0.5 {
+		t.Errorf("top-10 recall %.2f below 0.5: sampling lost the hottest streams", r.TopRecall)
+	}
+	if r.HeatRecall < 0.5 {
+		t.Errorf("heat-weighted recall %.2f below 0.5", r.HeatRecall)
+	}
+}
+
+// TestPaperSamplingRateAchieved pins the anchor configuration: awake-only
+// paper counters must sample at ~0.5%.
+func TestPaperSamplingRateAchieved(t *testing.T) {
+	refs := 240000
+	if testing.Short() {
+		t.Skip("needs a long trace for a 0.5% sample to contain streams")
+	}
+	res, err := SamplingComparison([]workload.Params{workload.Mcf()}, refs, PaperSamplingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Rate < 0.004 || r.Rate > 0.006 {
+		t.Errorf("achieved rate %.5f, want ~0.005", r.Rate)
+	}
+}

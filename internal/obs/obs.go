@@ -67,6 +67,15 @@ const (
 	// marks a deoptimizing swap to the pass-through machine.
 	KindMatcherSwap
 
+	// KindBurstAwake and KindBurstHibernate mark a shard's bursty-sampling
+	// front end switching phase (paper §2.2: nAwake0 burst-periods of real
+	// tracing alternating with nHibernate0 of near-silence). For
+	// KindBurstHibernate, Value is the number of references sampled during
+	// the awake phase that just ended; for KindBurstAwake it is the number
+	// of references shed during the completed hibernation.
+	KindBurstAwake
+	KindBurstHibernate
+
 	kindCount // sentinel; keep last
 )
 
@@ -100,6 +109,10 @@ func (k Kind) String() string {
 		return "breaker_closed"
 	case KindMatcherSwap:
 		return "matcher_swap"
+	case KindBurstAwake:
+		return "burst_awake"
+	case KindBurstHibernate:
+		return "burst_hibernate"
 	default:
 		return "unknown"
 	}
@@ -156,6 +169,8 @@ type Observer struct {
 	IngestStall     *Histogram // ingest-path stall charged to a grammar cycle
 	FlushLatency    *Histogram // ShardedProfile.Flush wall time
 	AccuracyWindow  *Histogram // supervisor accuracy-window hit ratio
+	CompressLatency *Histogram // per-batch Sequitur compression wall time
+	BurstDuty       *Histogram // per-phase burst sampling duty (sampled/checked)
 
 	mu      sync.Mutex // guards ring writes and tracer registration
 	ring    []Event    // fixed-capacity event ring
@@ -185,6 +200,8 @@ func NewWithCapacity(capacity int) *Observer {
 		IngestStall:     NewDurationHistogram("hotprefetch_ingest_stall_seconds", "Ingest-path stall charged to a grammar-budget cycle."),
 		FlushLatency:    NewDurationHistogram("hotprefetch_flush_duration_seconds", "ShardedProfile.Flush wall time."),
 		AccuracyWindow:  NewRatioHistogram("hotprefetch_accuracy_window_ratio", "Supervisor accuracy-window hits/issued ratio."),
+		CompressLatency: NewDurationHistogram("hotprefetch_compress_latency_seconds", "Per-batch Sequitur compression latency (batches of 8+ references; smaller batches are below clock resolution)."),
+		BurstDuty:       NewRatioHistogram("hotprefetch_burst_duty_ratio", "References sampled per burst phase over references checked."),
 	}
 }
 

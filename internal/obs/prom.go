@@ -64,13 +64,15 @@ func (h *Histogram) WritePrometheus(w io.Writer) {
 	writeSample(w, h.name, "_count", nil, fmt.Sprintf("%d", h.count.Load()))
 }
 
-// WritePrometheus writes the observer's own series: the four histograms and
-// the per-kind phase event counters.
+// WritePrometheus writes the observer's own series: the latency and ratio
+// histograms and the per-kind phase event counters.
 func (o *Observer) WritePrometheus(w io.Writer) {
 	o.AnalysisLatency.WritePrometheus(w)
 	o.IngestStall.WritePrometheus(w)
 	o.FlushLatency.WritePrometheus(w)
 	o.AccuracyWindow.WritePrometheus(w)
+	o.CompressLatency.WritePrometheus(w)
+	o.BurstDuty.WritePrometheus(w)
 	events := make(map[string]uint64, NumKinds)
 	for k := Kind(1); k < kindCount; k++ {
 		events[k.String()] = o.counts[k].Load()

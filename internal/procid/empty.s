@@ -1,0 +1,2 @@
+// Empty assembly file so the go:linkname pulls in sync's runtime hooks:
+// a package with .s files may use linkname without -checklinkname tricks.

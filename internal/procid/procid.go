@@ -1,0 +1,27 @@
+// Package procid exposes the identity of the P (GOMAXPROCS slot) the
+// calling goroutine is running on, for shard-per-P placement: a producer
+// that picks its shard by P index lands on the same shard for as long as
+// the scheduler keeps it on the same P, giving mostly-private shard access
+// with no per-producer handle plumbing. The id is advisory — the goroutine
+// can migrate the instant the pin is released — so callers must still
+// synchronize shard access; they just rarely contend.
+package procid
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+//go:linkname procPin sync.runtime_procPin
+func procPin() int
+
+//go:linkname procUnpin sync.runtime_procUnpin
+func procUnpin()
+
+// Get returns the index of the P the caller is momentarily running on, in
+// [0, GOMAXPROCS). The value is a placement hint, not a lock: by the time
+// Get returns, the goroutine may already be elsewhere.
+func Get() int {
+	p := procPin()
+	procUnpin()
+	return p
+}

@@ -1,0 +1,34 @@
+package procid
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestGetInRange(t *testing.T) {
+	n := runtime.GOMAXPROCS(0)
+	for i := 0; i < 1000; i++ {
+		if p := Get(); p < 0 || p >= n {
+			t.Fatalf("Get() = %d, want [0, %d)", p, n)
+		}
+	}
+}
+
+func TestGetConcurrent(t *testing.T) {
+	n := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				if p := Get(); p < 0 || p >= n {
+					t.Errorf("Get() = %d, want [0, %d)", p, n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

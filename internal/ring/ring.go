@@ -104,9 +104,12 @@ func (q *SPSC[T]) PushBatch(src []T) int {
 	if n > free {
 		n = free
 	}
-	for i := uint64(0); i < n; i++ {
-		q.buf[(t+i)&q.mask] = src[i]
-	}
+	// The run occupies at most two contiguous spans of the power-of-two
+	// buffer (before and after the wrap point); two copy calls replace the
+	// per-element masked stores and let the runtime move words in bulk.
+	start := t & q.mask
+	first := copy(q.buf[start:], src[:n])
+	copy(q.buf, src[first:n])
 	q.tail.Store(t + n)
 	return int(n)
 }
@@ -143,9 +146,10 @@ func (q *SPSC[T]) PopBatch(dst []T) int {
 	if n > avail {
 		n = avail
 	}
-	for i := uint64(0); i < n; i++ {
-		dst[i] = q.buf[(h+i)&q.mask]
-	}
+	// Mirror of PushBatch: at most two contiguous spans around the wrap.
+	start := h & q.mask
+	first := copy(dst[:n], q.buf[start:])
+	copy(dst[first:n], q.buf)
 	q.head.Store(h + n)
 	return int(n)
 }

@@ -1,0 +1,174 @@
+package sequitur
+
+import (
+	"bytes"
+	"testing"
+)
+
+// digramSet returns the table contents as a map from packed digram key to
+// owning arena index — the physical layout (slot order, capacity) may differ
+// between two grammars, but the contents must not.
+func (g *Grammar) digramSet() map[[2]uint64]uint32 {
+	out := make(map[[2]uint64]uint32, g.digrams.n)
+	for i := range g.digrams.entries {
+		if e := &g.digrams.entries[i]; e.used {
+			out[[2]uint64{e.k0, e.k1}] = e.sym
+		}
+	}
+	return out
+}
+
+// requireIdentical asserts that two grammars built from the same input are
+// bit-identical: same counters, same arena allocation state, same expansion,
+// and the same digram table contents including owners (owners are arena
+// indices, so matching owners means the structural operation sequences were
+// identical, not merely equivalent).
+func requireIdentical(t *testing.T, got, want *Grammar) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	if got.Size() != want.Size() {
+		t.Fatalf("Size = %d, want %d", got.Size(), want.Size())
+	}
+	if got.NumRules() != want.NumRules() {
+		t.Fatalf("NumRules = %d, want %d", got.NumRules(), want.NumRules())
+	}
+	if got.used != want.used {
+		t.Fatalf("arena slots used = %d, want %d", got.used, want.used)
+	}
+	if len(got.freeSyms) != len(want.freeSyms) {
+		t.Fatalf("free symbols = %d, want %d", len(got.freeSyms), len(want.freeSyms))
+	}
+	if got.start != want.start {
+		t.Fatalf("start rule = %d, want %d", got.start, want.start)
+	}
+	gd, wd := got.digramSet(), want.digramSet()
+	if len(gd) != len(wd) {
+		t.Fatalf("digram table holds %d entries, want %d", len(gd), len(wd))
+	}
+	for k, sym := range wd {
+		if gsym, ok := gd[k]; !ok {
+			t.Fatalf("digram %v missing", k)
+		} else if gsym != sym {
+			t.Fatalf("digram %v owned by %d, want %d", k, gsym, sym)
+		}
+	}
+	ge, we := got.Snapshot().Expand(0), want.Snapshot().Expand(0)
+	if len(ge) != len(we) {
+		t.Fatalf("expansion length %d, want %d", len(ge), len(we))
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			t.Fatalf("expansion differs at %d: %d != %d", i, ge[i], we[i])
+		}
+	}
+}
+
+// chunked splits data into run lengths derived from seed (1..8 values per
+// run), so the fuzzer exercises run boundaries everywhere in the input.
+func chunked(g *Grammar, vals []uint64, seed uint64) {
+	for len(vals) > 0 {
+		n := int(seed&7) + 1
+		seed = seed>>3 | seed<<61
+		if n > len(vals) {
+			n = len(vals)
+		}
+		g.AppendRun(vals[:n])
+		vals = vals[n:]
+	}
+}
+
+func toVals(data []byte) []uint64 {
+	vals := make([]uint64, len(data))
+	for i, b := range data {
+		vals[i] = uint64(b)
+	}
+	return vals
+}
+
+// TestAppendRunMatchesAppend pins the batch path to the sequential path on
+// the classic Sequitur inputs, both as one whole-input run and split into
+// small runs.
+func TestAppendRunMatchesAppend(t *testing.T) {
+	inputs := [][]byte{
+		[]byte("abaabcabcabcabc"),
+		[]byte("aaaa"),
+		[]byte("aaaaaaaa"),
+		[]byte(""),
+		[]byte("abcabcabdabcabd"),
+		bytes.Repeat([]byte("xy"), 50),
+		bytes.Repeat([]byte("a"), 257),
+		[]byte("abcdabcd_abcdabcd_abcdabcd_"),
+	}
+	for _, data := range inputs {
+		vals := toVals(data)
+		seq := New()
+		seq.AppendAll(vals)
+
+		whole := New()
+		whole.AppendRun(vals)
+		requireIdentical(t, whole, seq)
+
+		split := New()
+		chunked(split, vals, 0x9e3779b97f4a7c15)
+		requireIdentical(t, split, seq)
+	}
+}
+
+// TestAppendRunAfterReset checks that a recycled grammar accepts runs and
+// still matches the sequential path (reserve and the scratch buffers must
+// survive Reset).
+func TestAppendRunAfterReset(t *testing.T) {
+	vals := toVals(bytes.Repeat([]byte("abcabcabd"), 40))
+	g := New()
+	g.AppendRun(vals)
+	g.Reset()
+	g.AppendRun(vals)
+	seq := New()
+	seq.AppendAll(vals)
+	requireIdentical(t, g, seq)
+}
+
+// TestAppendRunSteadyStateAllocs mirrors TestResetRetainsCapacity for the
+// batch path: once the arena and table are warm, fill/reset cycles through
+// AppendRun must not allocate.
+func TestAppendRunSteadyStateAllocs(t *testing.T) {
+	vals := toVals(bytes.Repeat([]byte("abcabcabdabdz"), 64))
+	g := New()
+	g.AppendRun(vals)
+	g.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		g.AppendRun(vals)
+		g.Reset()
+	})
+	if allocs > 0 {
+		t.Errorf("fill/reset cycle via AppendRun allocated %.1f times, want 0", allocs)
+	}
+}
+
+// FuzzAppendRun is the differential gate for the batch-aware append: an
+// arbitrary input split into arbitrary runs must leave the grammar
+// bit-identical to sequential Append calls — same rules, symbol counts,
+// arena state, and digram-table contents (with owners).
+func FuzzAppendRun(f *testing.F) {
+	f.Add([]byte("abaabcabcabcabc"), uint64(0))
+	f.Add([]byte("aaaaaaaaaaaa"), uint64(1))
+	f.Add([]byte(""), uint64(7))
+	f.Add([]byte("abcabcabdabcabd"), uint64(0x12345678))
+	f.Add(bytes.Repeat([]byte("xy"), 50), uint64(3))
+	f.Add(bytes.Repeat([]byte("a"), 257), uint64(0xffffffffffffffff))
+	f.Add([]byte("abcdabcd_abcdabcd_abcdabcd_"), uint64(0x9e3779b97f4a7c15))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		vals := toVals(data)
+		seq := New()
+		seq.AppendAll(vals)
+		run := New()
+		chunked(run, vals, seed)
+		requireIdentical(t, run, seq)
+	})
+}

@@ -22,30 +22,36 @@ const (
 // symNode is a symbol in a rule's circular doubly-linked right-hand side,
 // the arena analog of a pointer-linked Sequitur symbol.
 //
-// id is the symbol's identity, precomputed so digram keys need no decoding:
-// a terminal with value v has id v<<1; a nonterminal referencing rule r has
-// id r<<1|1. A guard carries the id of its owning rule (r<<1|1), making the
-// container of any symbol reachable, but is excluded from digrams by its
-// guard flag.
+// id is the symbol's identity, precomputed so digram keys need no decoding,
+// with the node's tags packed into its low two bits: a terminal with value v
+// has id v<<2, a nonterminal referencing rule r has id r<<2|1, and a rule's
+// guard carries r<<2|3 — the container of any symbol stays reachable, and the
+// guard bit (bit 1) excludes guards from digrams without a separate flag
+// field. The packing keeps the node at 16 bytes, so four nodes share a cache
+// line and a linked-list walk touches half the lines the previous 24-byte
+// layout did.
 type symNode struct {
 	next, prev uint32
-	guard      bool
 	id         uint64
 }
 
+// isGuard reports whether the node is a rule's guard.
+func (n *symNode) isGuard() bool { return n.id&2 != 0 }
+
 // isNonterminal reports whether the node references a rule (and is not the
 // rule's guard).
-func (n *symNode) isNonterminal() bool { return !n.guard && n.id&1 == 1 }
+func (n *symNode) isNonterminal() bool { return n.id&3 == 1 }
 
 // ruleOf returns the rule index encoded in a nonterminal or guard id.
-func (n *symNode) ruleOf() uint32 { return uint32(n.id >> 1) }
+func (n *symNode) ruleOf() uint32 { return uint32(n.id >> 2) }
 
 // value returns the terminal value encoded in a terminal id.
-func (n *symNode) value() uint64 { return n.id >> 1 }
+func (n *symNode) value() uint64 { return n.id >> 2 }
 
-// termID and ruleID build symbol identities.
-func termID(v uint64) uint64  { return v << 1 }
-func ruleID(ri uint32) uint64 { return uint64(ri)<<1 | 1 }
+// termID, ruleID, and guardID build symbol identities.
+func termID(v uint64) uint64   { return v << 2 }
+func ruleID(ri uint32) uint64  { return uint64(ri)<<2 | 1 }
+func guardID(ri uint32) uint64 { return uint64(ri)<<2 | 3 }
 
 // ruleNode is a grammar production: its guard symbol closes the RHS list and
 // count tracks how many nonterminals reference it.
@@ -61,7 +67,7 @@ func (g *Grammar) sym(i uint32) *symNode {
 }
 
 // alloc returns a fresh, unlinked symbol node, recycling freed slots first.
-func (g *Grammar) alloc(id uint64, guard bool) uint32 {
+func (g *Grammar) alloc(id uint64) uint32 {
 	var i uint32
 	if n := len(g.freeSyms); n > 0 {
 		i = g.freeSyms[n-1]
@@ -73,7 +79,7 @@ func (g *Grammar) alloc(id uint64, guard bool) uint32 {
 		i = g.used
 		g.used++
 	}
-	*g.sym(i) = symNode{next: nilSym, prev: nilSym, guard: guard, id: id}
+	*g.sym(i) = symNode{next: nilSym, prev: nilSym, id: id}
 	return i
 }
 
@@ -96,7 +102,7 @@ func (g *Grammar) newRule() uint32 {
 		ri = uint32(len(g.rules))
 		g.rules = append(g.rules, ruleNode{})
 	}
-	guard := g.alloc(ruleID(ri), true)
+	guard := g.alloc(guardID(ri))
 	gn := g.sym(guard)
 	gn.next = guard
 	gn.prev = guard

@@ -48,11 +48,18 @@ func (t *digramTable) get(k0, k1 uint64) (uint32, bool) {
 // getOrSet returns the existing owner of digram (k0, k1), or records sym as
 // its owner if absent — one probe sequence for the common check() lookup.
 func (t *digramTable) getOrSet(k0, k1 uint64, sym uint32) (uint32, bool) {
+	return t.getOrSetH(hashDigram(k0, k1), k0, k1, sym)
+}
+
+// getOrSetH is getOrSet with the digram hash supplied by the caller —
+// AppendRun precomputes the hashes of a whole run's adjacent pairs in one
+// pass and hands them in here, skipping the per-lookup mix.
+func (t *digramTable) getOrSetH(h, k0, k1 uint64, sym uint32) (uint32, bool) {
 	if 4*(t.n+1) >= 3*len(t.entries) {
 		t.grow()
 	}
 	mask := uint64(len(t.entries) - 1)
-	for i := hashDigram(k0, k1) & mask; ; i = (i + 1) & mask {
+	for i := h & mask; ; i = (i + 1) & mask {
 		e := &t.entries[i]
 		if !e.used {
 			*e = digramEntry{k0: k0, k1: k1, sym: sym, used: true}
@@ -61,6 +68,37 @@ func (t *digramTable) getOrSet(k0, k1 uint64, sym uint32) (uint32, bool) {
 		}
 		if e.k0 == k0 && e.k1 == k1 {
 			return e.sym, true
+		}
+	}
+}
+
+// touch loads the home slot for hash h, warming the cache line an upcoming
+// probe will hit. It returns a value derived from the slot so the caller can
+// fold it into a sink, keeping the load from being optimized away.
+func (t *digramTable) touch(h uint64) uint64 {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	return t.entries[h&uint64(len(t.entries)-1)].k0
+}
+
+// reserve grows the table so at least n live entries fit under the 75% load
+// factor without further rehashing — one table epoch for a whole appended
+// run instead of log(run) incremental doublings.
+func (t *digramTable) reserve(n int) {
+	need := 64
+	for 4*(n+1) >= 3*need {
+		need <<= 1
+	}
+	if need <= len(t.entries) {
+		return
+	}
+	old := t.entries
+	t.entries = make([]digramEntry, need)
+	t.n = 0
+	for i := range old {
+		if old[i].used {
+			t.set(old[i].k0, old[i].k1, old[i].sym)
 		}
 	}
 }

@@ -23,6 +23,12 @@
 // open-addressed table keyed on the packed symbol-identity pair (see
 // digram.go). A grammar in steady state — recycling as much as it grows —
 // appends with zero allocations.
+//
+// Bursty tracing delivers references in runs rather than singletons, so the
+// batch entry point AppendRun amortizes per-symbol overhead across a run:
+// one digram-table reservation per run, precomputed digram hashes, and a
+// cached tail pointer on the append fast path. The resulting grammar is
+// bit-identical to sequential Append calls (enforced by FuzzAppendRun).
 package sequitur
 
 // Grammar is an incrementally-built Sequitur grammar. The zero value is not
@@ -39,6 +45,11 @@ type Grammar struct {
 	length    uint64 // terminals appended so far
 	symbols   int    // symbols currently on all right-hand sides
 	ruleCount int    // live rules including the start rule
+
+	// runHashes is AppendRun's reusable digram-hash scratch; prefetched is
+	// the sink that keeps the table's warm-up loads from being dead code.
+	runHashes  []uint64
+	prefetched uint64
 }
 
 // New returns an empty grammar.
@@ -80,9 +91,9 @@ func (g *Grammar) Reset() {
 // grammar invariants.
 func (g *Grammar) Append(v uint64) {
 	g.length++
-	s := g.alloc(termID(v), false)
+	s := g.alloc(termID(v))
 	g.insertAfter(g.last(g.start), s)
-	if prev := g.sym(s).prev; !g.sym(prev).guard {
+	if prev := g.sym(s).prev; !g.sym(prev).isGuard() {
 		g.check(prev)
 	}
 }
@@ -92,6 +103,90 @@ func (g *Grammar) AppendAll(vs []uint64) {
 	for _, v := range vs {
 		g.Append(v)
 	}
+}
+
+// AppendRun appends each value in order, producing a grammar bit-identical
+// to the equivalent sequence of Append calls while amortizing per-symbol
+// overhead across the run:
+//
+//   - the digram table is reserved once for the run's worst-case growth, so
+//     no mid-run rehash occurs;
+//   - the hashes of the run's adjacent terminal pairs are precomputed in one
+//     pass and reused whenever the grammar's tail is still the terminal just
+//     appended (the common case — restructuring invalidates the tail, and
+//     the next digram hashes fresh);
+//   - the tail append is inlined: when the predecessor's digram partner is
+//     the start rule's guard, insertAfter/join reduce to four pointer
+//     stores, skipping the general path's digram-deletion and
+//     triple-re-owning checks, which cannot fire at the end of the start
+//     rule;
+//   - each iteration issues the next digram's home-slot load early, so the
+//     probe that follows hits a warm line.
+//
+// Only lookup bookkeeping differs from the sequential path; the structural
+// operation sequence is identical, so arena indices, rules, and digram
+// ownership all match Append exactly (FuzzAppendRun enforces this).
+func (g *Grammar) AppendRun(vs []uint64) {
+	n := len(vs)
+	if n == 0 {
+		return
+	}
+	// One Append grows the live digram set by at most one entry (plus a
+	// transient few inside a restructuring), so current size + run length
+	// bounds the table's growth for the whole run.
+	g.digrams.reserve(g.symbols + n + 4)
+	if cap(g.runHashes) < n {
+		g.runHashes = make([]uint64, n)
+	}
+	h := g.runHashes[:n]
+	for i := 1; i < n; i++ {
+		h[i] = hashDigram(termID(vs[i-1]), termID(vs[i]))
+	}
+
+	guard := g.rules[g.start].guard
+	gn := g.sym(guard) // stable: chunks never move and the start guard is never freed
+	clean := false     // tail is the terminal vs[i-1], untouched by restructuring
+	sink := g.prefetched
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			sink ^= g.digrams.touch(h[i+1])
+		}
+		g.length++
+		s := g.alloc(termID(vs[i]))
+		sn := g.sym(s)
+		tail := gn.prev
+		tn := g.sym(tail)
+		// Inline insertAfter(tail, s): s is a terminal appended before the
+		// guard, so the digram (tail, guard) was never in the table and no
+		// overlapping-run re-owning can apply — linking is four stores.
+		g.symbols++
+		sn.next = guard
+		sn.prev = tail
+		gn.prev = s
+		tn.next = s
+		if tn.isGuard() {
+			// First symbol of an empty start rule: no digram to check.
+			clean = true
+			continue
+		}
+		// check(tail), with the hash reused when the tail is known.
+		var m uint32
+		var ok bool
+		if clean {
+			m, ok = g.digrams.getOrSetH(h[i], tn.id, sn.id, tail)
+		} else {
+			m, ok = g.digrams.getOrSet(tn.id, sn.id, tail)
+		}
+		if ok && m != tail && g.sym(m).next != tail {
+			// Non-overlapping duplicate: enforce uniqueness. The tail is
+			// restructured, so the precomputed hash no longer applies.
+			g.match(tail, m)
+			clean = false
+			continue
+		}
+		clean = true
+	}
+	g.prefetched = sink
 }
 
 // insertAfter links s into the list after pos, updating the digram index.
@@ -111,7 +206,7 @@ func (g *Grammar) insertAfter(pos, s uint32) {
 func (g *Grammar) remove(s uint32) {
 	sn := g.sym(s)
 	g.join(sn.prev, sn.next)
-	if !sn.guard {
+	if !sn.isGuard() {
 		g.deleteDigram(s, sn)
 		if sn.isNonterminal() {
 			g.rules[sn.ruleOf()].count--
@@ -130,18 +225,18 @@ func (g *Grammar) join(left, right uint32) {
 		g.deleteDigram(left, ln)
 		// Re-own overlapping-run digrams whose entries pointed into the
 		// removed region: right's (prev,right,next) triple, then left's.
-		if !rn.guard {
+		if !rn.isGuard() {
 			if rp, rx := rn.prev, rn.next; rp != nilSym && rx != nilSym {
 				rpn, rxn := g.sym(rp), g.sym(rx)
-				if !rpn.guard && rpn.id == rn.id && !rxn.guard && rn.id == rxn.id {
+				if !rpn.isGuard() && rpn.id == rn.id && !rxn.isGuard() && rn.id == rxn.id {
 					g.digrams.set(rn.id, rxn.id, right)
 				}
 			}
 		}
-		if !ln.guard {
+		if !ln.isGuard() {
 			if lp, lx := ln.prev, ln.next; lp != nilSym && lx != nilSym {
 				lpn, lxn := g.sym(lp), g.sym(lx)
-				if !lpn.guard && lpn.id == ln.id && !lxn.guard && ln.id == lxn.id {
+				if !lpn.isGuard() && lpn.id == ln.id && !lxn.isGuard() && ln.id == lxn.id {
 					g.digrams.set(lpn.id, ln.id, lp)
 				}
 			}
@@ -154,11 +249,11 @@ func (g *Grammar) join(left, right uint32) {
 // deleteDigram removes the table entry for the digram starting at s, if s
 // owns it. sn must be s's node.
 func (g *Grammar) deleteDigram(s uint32, sn *symNode) {
-	if sn.guard || sn.next == nilSym {
+	if sn.isGuard() || sn.next == nilSym {
 		return
 	}
 	nn := g.sym(sn.next)
-	if nn.guard {
+	if nn.isGuard() {
 		return
 	}
 	g.digrams.delOwned(sn.id, nn.id, s)
@@ -168,11 +263,11 @@ func (g *Grammar) deleteDigram(s uint32, sn *symNode) {
 // true if a duplicate was found.
 func (g *Grammar) check(s uint32) bool {
 	sn := g.sym(s)
-	if sn.guard || sn.next == nilSym {
+	if sn.isGuard() || sn.next == nilSym {
 		return false
 	}
 	nn := g.sym(sn.next)
-	if nn.guard {
+	if nn.isGuard() {
 		return false
 	}
 	m, ok := g.digrams.getOrSet(sn.id, nn.id, s)
@@ -194,7 +289,7 @@ func (g *Grammar) check(s uint32) bool {
 func (g *Grammar) match(s, m uint32) {
 	var r uint32
 	mn := g.sym(m)
-	if g.sym(mn.prev).guard && g.sym(g.sym(mn.next).next).guard {
+	if g.sym(mn.prev).isGuard() && g.sym(g.sym(mn.next).next).isGuard() {
 		// The matching digram is exactly the RHS of an existing rule; reuse
 		// it.
 		r = g.sym(mn.prev).ruleOf()
@@ -204,9 +299,9 @@ func (g *Grammar) match(s, m uint32) {
 		r = g.newRule()
 		sn := g.sym(s)
 		second := sn.next
-		c1 := g.alloc(sn.id, false)
+		c1 := g.alloc(sn.id)
 		g.insertAfter(g.last(r), c1)
-		c2 := g.alloc(g.sym(second).id, false)
+		c2 := g.alloc(g.sym(second).id)
 		g.insertAfter(g.last(r), c2)
 		g.substitute(m, r)
 		g.substitute(s, r)
@@ -227,7 +322,7 @@ func (g *Grammar) substitute(s uint32, r uint32) {
 	q := g.sym(s).prev
 	g.remove(g.sym(s).next)
 	g.remove(s)
-	nt := g.alloc(ruleID(r), false)
+	nt := g.alloc(ruleID(r))
 	g.insertAfter(q, nt)
 	if !g.check(q) {
 		g.check(nt)

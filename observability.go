@@ -48,6 +48,8 @@ const (
 	EventBreakerHalfOpen  = obs.KindBreakerHalfOpen
 	EventBreakerClosed    = obs.KindBreakerClosed
 	EventMatcherSwap      = obs.KindMatcherSwap
+	EventBurstAwake       = obs.KindBurstAwake
+	EventBurstHibernate   = obs.KindBurstHibernate
 )
 
 // WriteMetrics writes the profile's metrics in Prometheus text exposition
@@ -60,6 +62,12 @@ func (sp *ShardedProfile) WriteMetrics(w io.Writer) {
 	obs.WriteCounter(w, "hotprefetch_refs_consumed_total", "References compressed into grammars.", st.Consumed)
 	obs.WriteCounter(w, "hotprefetch_refs_dropped_total", "References shed on full rings.", st.Dropped)
 	obs.WriteCounter(w, "hotprefetch_refs_sampled_out_total", "References skipped by sampling degradation.", st.Sampled)
+	obs.WriteCounter(w, "hotprefetch_burst_shed_total", "References shed by the bursty-sampling front end.", st.BurstShed)
+	if sp.cfg.Burst.Enabled {
+		bc := sp.cfg.Burst.controllerConfig()
+		obs.WriteGauge(w, "hotprefetch_burst_sampling_rate", "Configured awake-phase burst sampling rate.", bc.SamplingRate())
+		obs.WriteGauge(w, "hotprefetch_burst_overall_rate", "Configured long-run sampling rate including hibernation.", bc.OverallRate())
+	}
 	obs.WriteCounter(w, "hotprefetch_grammar_resets_total", "Grammar budget cycles across shards.", st.Resets)
 	obs.WriteCounter(w, "hotprefetch_cycles_analyzed_total", "Cycle-end analyses completed.", st.CyclesAnalyzed)
 	obs.WriteCounter(w, "hotprefetch_analyses_failed_total", "Cycle-end analyses that panicked or timed out.", st.AnalysesFailed)

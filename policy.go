@@ -3,8 +3,11 @@ package hotprefetch
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
+	"hotprefetch/internal/burst"
 	"hotprefetch/internal/fault"
 	"hotprefetch/internal/obs"
 )
@@ -65,6 +68,90 @@ func ParseIngestPolicy(s string) (IngestPolicy, error) {
 	default:
 		return 0, fmt.Errorf("hotprefetch: unknown ingest policy %q (want block, drop, or sample)", s)
 	}
+}
+
+// BurstConfig configures the bursty-sampling front end ShardedProfile
+// producers run ahead of the ingest policy — the paper's bursty tracing
+// counter machine (§2.1–2.2) deciding, per reference, whether the profiler
+// is even looking. With the paper's parameters, full-rate traffic costs one
+// counter decrement per reference on the Add path (one subtraction per
+// checking-phase span on the AddBatch path), only ~0.5% of awake-phase
+// references reach the ring and Sequitur, and the controller alternates
+// between awake and hibernating phases on its own — the self-clocked
+// profile/hibernate cycle of the paper's Figure 3. Sampling is deterministic
+// and happens before the ring, so the back-pressure policy sees only the
+// sampled stream; shed references are counted in Stats.BurstShed.
+type BurstConfig struct {
+	// Enabled turns the front end on; all other fields are ignored when
+	// false.
+	Enabled bool
+
+	// NCheck and NInstr set the dynamic checks spent in checking versus
+	// instrumented code per burst-period (zero means the paper's 11940 and
+	// 60 — a 0.5% awake sampling rate in bursts of 60 references).
+	NCheck, NInstr int64
+
+	// NAwake and NHibernate set the burst-periods per awake and hibernating
+	// phase (zero means the paper's 50 and 2450 — awake 2% of the time).
+	NAwake, NHibernate int64
+}
+
+// controllerConfig maps the public knobs onto the internal controller
+// configuration, substituting the paper's parameters for zero fields.
+func (b BurstConfig) controllerConfig() burst.Config {
+	cfg := burst.PaperConfig()
+	if b.NCheck > 0 {
+		cfg.NCheck0 = b.NCheck
+	}
+	if b.NInstr > 0 {
+		cfg.NInstr0 = b.NInstr
+	}
+	if b.NAwake > 0 {
+		cfg.NAwake0 = b.NAwake
+	}
+	if b.NHibernate > 0 {
+		cfg.NHibernate0 = b.NHibernate
+	}
+	return cfg
+}
+
+// Validate reports whether the burst configuration is well-formed.
+func (b BurstConfig) Validate() error {
+	if !b.Enabled {
+		return nil
+	}
+	if b.NCheck < 0 || b.NInstr < 0 || b.NAwake < 0 || b.NHibernate < 0 {
+		return fmt.Errorf("hotprefetch: negative burst counter (nCheck %d, nInstr %d, nAwake %d, nHibernate %d)",
+			b.NCheck, b.NInstr, b.NAwake, b.NHibernate)
+	}
+	return nil
+}
+
+// ParseBurstConfig converts a flag value to a BurstConfig: "off" (or the
+// empty string) disables bursty sampling, "paper" enables it with the
+// paper's §4.1 parameters, and "nCheck:nInstr:nAwake:nHibernate" (four
+// non-negative integers, zero meaning the paper value) sets the counters
+// explicitly.
+func ParseBurstConfig(s string) (BurstConfig, error) {
+	switch s {
+	case "", "off":
+		return BurstConfig{}, nil
+	case "paper":
+		return BurstConfig{Enabled: true}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return BurstConfig{}, fmt.Errorf("hotprefetch: bad burst config %q (want off, paper, or nCheck:nInstr:nAwake:nHibernate)", s)
+	}
+	vals := make([]int64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || v < 0 {
+			return BurstConfig{}, fmt.Errorf("hotprefetch: bad burst counter %q in %q", p, s)
+		}
+		vals[i] = v
+	}
+	return BurstConfig{Enabled: true, NCheck: vals[0], NInstr: vals[1], NAwake: vals[2], NHibernate: vals[3]}, nil
 }
 
 // ErrClosed is returned by ProfileShard.Add and AddAll after the profile has
@@ -180,6 +267,11 @@ type ShardedConfig struct {
 	// Nil — the default — disables injection entirely.
 	Fault fault.Injector
 
+	// Burst, when enabled, puts the paper's bursty-sampling counter machine
+	// in front of every shard's ingest policy; see BurstConfig. Each shard
+	// gets its own deterministic controller, advanced by its producer.
+	Burst BurstConfig
+
 	// Observer, when non-nil, is the observability hub the profile emits
 	// phase events and latency observations into — supply one to subscribe
 	// Tracers before ingestion starts or to share a hub across components.
@@ -255,6 +347,9 @@ func (c ShardedConfig) Validate() error {
 	}
 	if c.BreakerBackoff < 0 || c.BreakerMaxBackoff < 0 {
 		return fmt.Errorf("hotprefetch: negative breaker backoff (%v, %v)", c.BreakerBackoff, c.BreakerMaxBackoff)
+	}
+	if err := c.Burst.Validate(); err != nil {
+		return fmt.Errorf("Burst: %w", err)
 	}
 	if err := c.CycleAnalysis.Validate(); err != nil {
 		return fmt.Errorf("CycleAnalysis: %w", err)

@@ -12,8 +12,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hotprefetch/internal/burst"
 	"hotprefetch/internal/fault"
 	"hotprefetch/internal/obs"
+	"hotprefetch/internal/procid"
 	"hotprefetch/internal/ring"
 )
 
@@ -283,6 +285,19 @@ type ProfileShard struct {
 	degraded bool
 	skip     int
 
+	// burst is the producer-local bursty-sampling front end
+	// (ShardedConfig.Burst); nil when disabled. Like the Sample state it is
+	// guarded by the single-producer contract. burstShed counts references
+	// the front end shed without touching the ring.
+	burst     *burstGate
+	burstShed atomic.Uint64
+
+	// prodLock serializes Auto-placed producers on this shard (AddAuto and
+	// AddBatchAuto): the SPSC ring and the producer-local Sample/burst
+	// state admit one producer at a time, and P-indexed placement cannot
+	// guarantee two goroutines never pick the same shard.
+	prodLock atomic.Bool
+
 	mu       sync.Mutex // guards retained
 	retained []Stream   // hot streams extracted at grammar resets
 
@@ -368,6 +383,9 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 			default:
 				sp.obs.Emit(obs.KindBreakerClosed, shard, 0)
 			}
+		}
+		if cfg.Burst.Enabled {
+			s.burst = &burstGate{ctl: burst.New(cfg.Burst.controllerConfig())}
 		}
 		if cfg.AnalysisWorkers > 0 && cfg.MaxGrammarSymbols > 0 {
 			// Pre-warm one spare so the first phase transition is a pure
@@ -589,26 +607,61 @@ func (s *ProfileShard) consumeLoop() {
 	}
 }
 
+// compressLatencyMinBatch gates per-batch CompressLatency observation:
+// singleton batches compress in tens of nanoseconds, below the monotonic
+// clock's useful resolution, and a time.Now pair would roughly double their
+// cost.
+const compressLatencyMinBatch = 8
+
 func (s *ProfileShard) apply(refs []Ref) {
+	n := len(refs)
+	observe := n >= compressLatencyMinBatch
+	var start time.Time
+	if observe {
+		start = time.Now()
+	}
 	peak := int(s.peakGrammar.Load())
-	for _, r := range refs {
-		s.p.Add(r)
-		sz := s.p.GrammarSize()
-		if sz > peak {
+	if s.maxSymbols <= 0 {
+		s.p.AddBatch(refs)
+		if sz := s.p.GrammarSize(); sz > peak {
 			peak = sz
 		}
-		// Grammar budget: at the ceiling, bank this cycle's hot streams and
-		// recycle the grammar (paper §5's cycle-end deallocation). Checked
-		// per reference because a batch can overshoot the budget by its
-		// whole length; a single Add grows the grammar by at most one
-		// symbol, so the peak never exceeds the budget itself.
-		if s.maxSymbols > 0 && sz >= s.maxSymbols {
-			s.cycle()
+	} else {
+		// Grammar budget: feed the batch in budget-headroom chunks, cycling
+		// between chunks (paper §5's cycle-end deallocation). One appended
+		// reference grows the grammar by at most one net symbol, so a chunk
+		// of (budget - size) references can reach the budget but never
+		// overshoot it — the peak stays at or under MaxGrammarSymbols while
+		// whole chunks flow through the batch-aware AppendRun path instead
+		// of checking the ceiling per reference. Chunk boundaries depend
+		// only on how the grammar grows over the reference sequence, never
+		// on how the ring batched it, so cycle points stay deterministic.
+		for len(refs) > 0 {
+			sz := s.p.GrammarSize()
+			if sz >= s.maxSymbols {
+				if sz > peak {
+					peak = sz
+				}
+				s.cycle()
+				sz = s.p.GrammarSize()
+			}
+			k := s.maxSymbols - sz
+			if k > len(refs) {
+				k = len(refs)
+			}
+			s.p.AddBatch(refs[:k])
+			if sz := s.p.GrammarSize(); sz > peak {
+				peak = sz
+			}
+			refs = refs[k:]
 		}
 	}
 	s.grammarSize.Store(uint64(s.p.GrammarSize()))
 	s.peakGrammar.Store(uint64(peak))
-	s.consumed.Add(uint64(len(refs)))
+	s.consumed.Add(uint64(n))
+	if observe {
+		s.sp.obs.CompressLatency.ObserveDuration(time.Since(start))
+	}
 }
 
 // cycle ends the current profiling phase when the grammar hits its budget.
@@ -712,10 +765,66 @@ func (s *ProfileShard) retainedStreams() []Stream {
 	return out
 }
 
+// burstGate is a shard's producer-side bursty-sampling state: the paper's
+// counter machine (internal/burst) plus per-phase accounting for the
+// duty-cycle histogram. Owned by the producer goroutine under the
+// single-producer contract; only the phase mirror is read by Stats.
+type burstGate struct {
+	ctl           *burst.Controller
+	sampled       uint64       // references admitted during the current phase
+	shed          uint64       // references shed during the current phase
+	checksAtStart uint64       // ctl.Stats().Checks at phase entry
+	phase         atomic.Int32 // mirrors ctl.Phase() for Stats readers
+}
+
+// admitBurst runs one reference through the bursty-sampling controller and
+// reports whether it should reach the ingest policy: only references landing
+// in an awake-phase instrumented burst are admitted (§2.2; hibernation
+// bursts are discarded to avoid trace contamination, §2.4).
+func (s *ProfileShard) admitBurst() bool {
+	bg := s.burst
+	instrumented, phaseEnded := bg.ctl.Check()
+	admit := instrumented && bg.ctl.Awake()
+	if admit {
+		bg.sampled++
+	} else {
+		bg.shed++
+		s.burstShed.Add(1)
+	}
+	if phaseEnded {
+		s.burstPhaseEnd()
+	}
+	return admit
+}
+
+// burstPhaseEnd observes the ended phase's sampling duty, emits the phase
+// event, and flips the controller between awake and hibernating — the
+// self-clocked profile/hibernate alternation of the paper's Figure 3,
+// driven entirely by reference arrival.
+func (s *ProfileShard) burstPhaseEnd() {
+	bg := s.burst
+	if checks := bg.ctl.Stats().Checks - bg.checksAtStart; checks > 0 {
+		s.sp.obs.BurstDuty.Observe(1000 * bg.sampled / checks)
+	}
+	if bg.ctl.Awake() {
+		s.sp.obs.Emit(obs.KindBurstHibernate, s.idx, bg.sampled)
+		bg.ctl.Hibernate()
+	} else {
+		s.sp.obs.Emit(obs.KindBurstAwake, s.idx, bg.shed)
+		bg.ctl.Wake()
+	}
+	bg.phase.Store(int32(bg.ctl.Phase()))
+	bg.sampled, bg.shed = 0, 0
+	bg.checksAtStart = bg.ctl.Stats().Checks
+}
+
 // Add appends one data reference to the shard. When the shard's ring is full
 // the configured IngestPolicy decides whether Add waits (Block), sheds the
 // reference (Drop), or degrades to sampled acceptance (Sample); shed
-// references are counted in Stats, never silently lost from the books.
+// references are counted in Stats, never silently lost from the books. With
+// bursty sampling enabled (ShardedConfig.Burst), the reference first passes
+// the burst controller, and the full-rate common case is one counter
+// decrement with no ring traffic at all.
 //
 // Add returns ErrClosed once the profile has been closed — including for a
 // Block Add already spinning against a full ring when Close lands, which
@@ -724,6 +833,16 @@ func (s *ProfileShard) Add(r Ref) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if s.burst != nil && !s.admitBurst() {
+		return nil
+	}
+	return s.addPolicy(r)
+}
+
+// addPolicy routes one burst-admitted reference through the shard's ingest
+// policy. The caller has already checked closed (Block re-checks while
+// spinning).
+func (s *ProfileShard) addPolicy(r Ref) error {
 	switch s.policy {
 	case Drop:
 		if !s.tryPush(r) {
@@ -778,8 +897,11 @@ func (s *ProfileShard) AddAll(refs []Ref) error {
 // PushBatch instead of one per reference). Policy semantics match Add:
 // Block pushes every reference (returning ErrClosed if the profile closes
 // mid-batch), Drop sheds whatever does not fit the ring, and Sample falls
-// back to per-reference Add because its degradation decisions are made
-// reference by reference.
+// back to per-reference admission because its degradation decisions are made
+// reference by reference. With bursty sampling enabled the batch first runs
+// through the burst controller: checking-phase spans are shed in one O(1)
+// counter subtraction (burst.Controller.Skip), and only the sampled spans
+// touch the ring.
 func (s *ProfileShard) AddBatch(refs []Ref) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -787,6 +909,15 @@ func (s *ProfileShard) AddBatch(refs []Ref) error {
 	if len(refs) == 0 {
 		return nil
 	}
+	if s.burst != nil {
+		return s.addBatchBurst(refs)
+	}
+	return s.pushBatchPolicy(refs)
+}
+
+// pushBatchPolicy routes a burst-admitted run of references through the
+// shard's ingest policy; see AddBatch for the per-policy semantics.
+func (s *ProfileShard) pushBatchPolicy(refs []Ref) error {
 	switch s.policy {
 	case Drop:
 		n := s.tryPushBatch(refs)
@@ -796,7 +927,10 @@ func (s *ProfileShard) AddBatch(refs []Ref) error {
 		}
 	case Sample:
 		for _, r := range refs {
-			if err := s.Add(r); err != nil {
+			if s.closed.Load() {
+				return ErrClosed
+			}
+			if err := s.addPolicy(r); err != nil {
 				return err
 			}
 		}
@@ -819,9 +953,103 @@ func (s *ProfileShard) AddBatch(refs []Ref) error {
 	return nil
 }
 
+// addBatchBurst runs a batch through the bursty front end. Checking-phase
+// spans — the overwhelming majority under the paper's parameters — are
+// consumed by burst.Controller.Skip in one subtraction per span; the
+// remaining references go through the controller one check at a time, and
+// maximal admitted spans are pushed contiguously through the ingest policy
+// so batch amortization survives sampling.
+func (s *ProfileShard) addBatchBurst(refs []Ref) error {
+	bg := s.burst
+	i := 0
+	spanStart := -1 // start of the current admitted span, -1 when none
+	flush := func(end int) error {
+		if spanStart < 0 {
+			return nil
+		}
+		start := spanStart
+		spanStart = -1
+		return s.pushBatchPolicy(refs[start:end])
+	}
+	for i < len(refs) {
+		// Skip only makes progress in checking code, which the controller
+		// can only be in with no admitted span open (an admitted reference
+		// leaves it in instrumented code), so there is nothing to flush.
+		if k := bg.ctl.Skip(int64(len(refs) - i)); k > 0 {
+			bg.shed += uint64(k)
+			s.burstShed.Add(uint64(k))
+			i += int(k)
+			continue
+		}
+		instrumented, phaseEnded := bg.ctl.Check()
+		if instrumented && bg.ctl.Awake() {
+			bg.sampled++
+			if spanStart < 0 {
+				spanStart = i
+			}
+		} else {
+			bg.shed++
+			s.burstShed.Add(1)
+			if err := flush(i); err != nil {
+				return err
+			}
+		}
+		if phaseEnded {
+			// A phase always ends on a non-admitted check, so the span is
+			// already flushed; account the phase before the next reference.
+			s.burstPhaseEnd()
+		}
+		i++
+	}
+	return flush(len(refs))
+}
+
 // AddBatch appends a run of references to shard i; see ProfileShard.AddBatch.
 func (sp *ShardedProfile) AddBatch(i int, refs []Ref) error {
 	return sp.shards[i].AddBatch(refs)
+}
+
+// lockProducer claims the shard's Auto-producer slot, spinning with
+// scheduler yields; unlockProducer releases it. Uncontended in the steady
+// state — each P's producers route to their own shard — so the common cost
+// is one uncontended CAS.
+func (s *ProfileShard) lockProducer() {
+	for !s.prodLock.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+}
+
+func (s *ProfileShard) unlockProducer() { s.prodLock.Store(false) }
+
+// AddAuto appends one reference to the shard indexed by the caller's P
+// (GOMAXPROCS slot, modulo the shard count) — shard-per-P placement that
+// needs no per-producer handle plumbing and keeps same-P producers on the
+// same cache-warm shard. Because P indices are placement hints, not
+// ownership, concurrent AddAuto callers that land on the same shard are
+// serialized by a per-shard producer lock; do not mix Auto calls with
+// direct Shard(i) producers on the same profile.
+//
+// A goroutine that migrates between Ps mid-trace splits its reference
+// sequence across shards, which weakens per-shard stream detection (see
+// the ShardedProfile contract); prefer AddBatchAuto, which keeps each
+// batch whole on one shard, when tracing with Auto placement.
+func (sp *ShardedProfile) AddAuto(r Ref) error {
+	s := sp.shards[procid.Get()%len(sp.shards)]
+	s.lockProducer()
+	err := s.Add(r)
+	s.unlockProducer()
+	return err
+}
+
+// AddBatchAuto appends a run of references to the shard indexed by the
+// caller's P; see AddAuto for the placement contract. The whole batch lands
+// on one shard, so intra-batch regularity is never split.
+func (sp *ShardedProfile) AddBatchAuto(refs []Ref) error {
+	s := sp.shards[procid.Get()%len(sp.shards)]
+	s.lockProducer()
+	err := s.AddBatch(refs)
+	s.unlockProducer()
+	return err
 }
 
 // NumShards returns the number of shards.

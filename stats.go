@@ -3,6 +3,8 @@ package hotprefetch
 import (
 	"encoding/json"
 	"time"
+
+	"hotprefetch/internal/burst"
 )
 
 // ShardStats is one shard's ingestion and memory counters at a moment in
@@ -19,6 +21,15 @@ type ShardStats struct {
 	// without touching the ring.
 	Dropped uint64 `json:"dropped"`
 	Sampled uint64 `json:"sampled"`
+
+	// BurstShed counts references shed by the bursty-sampling front end
+	// (ShardedConfig.Burst) before reaching the ring; BurstPhase is the
+	// front end's current phase ("awake" or "hibernating"), empty when
+	// bursty sampling is disabled. At producer quiescence every reference
+	// handed to the shard is in exactly one of Pushed, Dropped, Sampled, or
+	// BurstShed.
+	BurstShed  uint64 `json:"burst_shed"`
+	BurstPhase string `json:"burst_phase,omitempty"`
 
 	// Resets counts grammar budget cycles (MaxGrammarSymbols); Retained is
 	// the number of hot streams currently banked by those cycles.
@@ -75,11 +86,12 @@ type Stats struct {
 	Shards []ShardStats `json:"shards"`
 
 	// Totals across shards.
-	Pushed   uint64 `json:"pushed"`
-	Consumed uint64 `json:"consumed"`
-	Dropped  uint64 `json:"dropped"`
-	Sampled  uint64 `json:"sampled"`
-	Resets   uint64 `json:"resets"`
+	Pushed    uint64 `json:"pushed"`
+	Consumed  uint64 `json:"consumed"`
+	Dropped   uint64 `json:"dropped"`
+	Sampled   uint64 `json:"sampled"`
+	BurstShed uint64 `json:"burst_shed"`
+	Resets    uint64 `json:"resets"`
 
 	// GrammarSize sums the live per-shard grammar sizes.
 	GrammarSize int `json:"grammar_size"`
@@ -116,6 +128,13 @@ type Stats struct {
 	// hit ratios (raw unit permille); all-zero until a Supervisor judges
 	// its first conclusive window.
 	AccuracyWindows HistogramSnapshot `json:"accuracy_windows"`
+
+	// CompressLatency is the per-batch Sequitur compression wall time
+	// (batches of 8+ references); BurstDuty is the per-phase bursty-sampling
+	// duty cycle, references sampled over references checked (raw unit
+	// permille), all-zero unless ShardedConfig.Burst is enabled.
+	CompressLatency HistogramSnapshot `json:"compress_latency"`
+	BurstDuty       HistogramSnapshot `json:"burst_duty"`
 
 	// MaxCycleStall is the worst per-shard ingest stall charged to a grammar
 	// cycle (max over shards of ShardStats.MaxCycleStall).
@@ -169,6 +188,8 @@ func (sp *ShardedProfile) Stats() Stats {
 		IngestStall:     sp.obs.IngestStall.Snapshot(),
 		FlushLatency:    sp.obs.FlushLatency.Snapshot(),
 		AccuracyWindows: sp.obs.AccuracyWindow.Snapshot(),
+		CompressLatency: sp.obs.CompressLatency.Snapshot(),
+		BurstDuty:       sp.obs.BurstDuty.Snapshot(),
 	}
 	if sp.analysisQ != nil {
 		st.AnalysisQueueDepth = len(sp.analysisQ)
@@ -196,6 +217,10 @@ func (sp *ShardedProfile) Stats() Stats {
 			MaxCycleStall:   time.Duration(s.maxCycleStallNanos.Load()),
 			AnalysesFailed:  failed,
 			AnalysesSkipped: skipped,
+			BurstShed:       s.burstShed.Load(),
+		}
+		if s.burst != nil {
+			ss.BurstPhase = burst.Phase(s.burst.phase.Load()).String()
 		}
 		ss.BreakerState, ss.BreakerTransitions = s.brk.snapshot()
 		st.Shards[i] = ss
@@ -203,6 +228,7 @@ func (sp *ShardedProfile) Stats() Stats {
 		st.Consumed += ss.Consumed
 		st.Dropped += ss.Dropped
 		st.Sampled += ss.Sampled
+		st.BurstShed += ss.BurstShed
 		st.Resets += ss.Resets
 		st.GrammarSize += ss.GrammarSize
 		st.AnalysesFailed += ss.AnalysesFailed
