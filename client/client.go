@@ -1,0 +1,368 @@
+// Package client is the thin capture library an application embeds to feed
+// the networked profiling service: it buffers (pc, addr) data references in
+// memory, frames them with the tracefile wire format, and publishes them
+// over HTTP — periodically, when the buffer fills, and on Close (the
+// emit-on-shutdown idiom of PGO profile publishers, where an ephemeral
+// process's profile must leave the box before the process does).
+//
+// Capture is deliberately lossy under pressure: if publishes cannot keep up
+// with capture, whole batches are dropped and counted, never blocking the
+// instrumented application — profiling stays off the critical path, exactly
+// as the paper's bursty tracing intends (the service-side burst front end
+// and ingestion policies do the principled shedding; the client's only job
+// is to not stall its host).
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hotprefetch/internal/ref"
+	"hotprefetch/internal/tracefile"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	defaultBufferRefs    = 8192
+	defaultFlushInterval = 10 * time.Second
+	defaultMaxPending    = 4
+	defaultTimeout       = 10 * time.Second
+)
+
+// Config configures a Capture.
+type Config struct {
+	// Server is the profiling service's base URL, e.g. "http://prof:9190".
+	Server string
+
+	// Tenant is the tenant key to publish under (1–64 chars of
+	// [A-Za-z0-9._-]).
+	Tenant string
+
+	// Stream identifies this capture's logical reference stream; the
+	// service keeps one stream's whole trace on one profile shard, which is
+	// what lets Sequitur see its regularity. Zero derives a stable id from
+	// the process id and start time — right for one capture per process;
+	// set distinct explicit ids when one process runs several captures.
+	Stream uint64
+
+	// BufferRefs is the number of references buffered before an automatic
+	// publish (0 means 8192).
+	BufferRefs int
+
+	// FlushInterval publishes whatever has accumulated at this cadence even
+	// when the buffer isn't full (0 means 10s; negative disables the timer,
+	// leaving buffer-full and Close publishes only).
+	FlushInterval time.Duration
+
+	// MaxPending bounds the publish queue (0 means 4): if the publisher
+	// falls this many batches behind, Add drops whole batches — counted in
+	// Stats().Dropped — instead of blocking the application.
+	MaxPending int
+
+	// HTTPClient overrides the HTTP client used for publishes (nil means a
+	// client with a 10s timeout).
+	HTTPClient *http.Client
+
+	// OnError, when non-nil, is called with every publish error (from the
+	// publisher goroutine). Errors are always counted in Stats regardless.
+	OnError func(error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferRefs <= 0 {
+		c.BufferRefs = defaultBufferRefs
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = defaultFlushInterval
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = defaultMaxPending
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: defaultTimeout}
+	}
+	if c.Stream == 0 {
+		c.Stream = uint64(os.Getpid())<<32 ^ uint64(time.Now().UnixNano())
+		if c.Stream == 0 {
+			c.Stream = 1
+		}
+	}
+	return c
+}
+
+// Ref is a single captured data reference: the program counter of the load
+// or store and the address it touched. It mirrors the service's reference
+// type so applications can batch captures without importing anything else.
+type Ref struct {
+	PC   int
+	Addr uint64
+}
+
+// Stats counts a Capture's activity. All fields are cumulative.
+type Stats struct {
+	Captured  uint64 // references handed to Add
+	Published uint64 // references successfully published
+	Dropped   uint64 // references dropped (publisher backlogged or closed)
+	Publishes uint64 // successful publish requests
+	Errors    uint64 // failed publish requests (their refs count as Dropped)
+}
+
+// Capture buffers data references and publishes them to the profiling
+// service. Create one with New, call Add from the instrumented code paths,
+// and Close on shutdown to publish the final partial buffer.
+//
+// Add is safe for concurrent use; captures from multiple goroutines
+// interleave in arrival order, which is the right model when they belong to
+// one logical trace (use separate Captures with distinct Stream ids
+// otherwise).
+type Capture struct {
+	cfg Config
+	url string
+
+	mu     sync.Mutex
+	buf    []ref.Ref
+	closed bool
+
+	pending chan []ref.Ref
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// enqWG tracks enqueues started before Close flipped closed, so Close can
+	// wait for them before closing the pending channel. Enqueuers register
+	// under mu (while closed is still false), making registration and Close's
+	// closed=true mutually exclusive.
+	enqWG sync.WaitGroup
+
+	captured  atomic.Uint64
+	published atomic.Uint64
+	dropped   atomic.Uint64
+	publishes atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// New returns a running Capture publishing to cfg.Server under cfg.Tenant.
+func New(cfg Config) (*Capture, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Server == "" {
+		return nil, fmt.Errorf("client: empty Server URL")
+	}
+	if _, err := url.Parse(cfg.Server); err != nil {
+		return nil, fmt.Errorf("client: bad Server URL: %w", err)
+	}
+	if cfg.Tenant == "" {
+		return nil, fmt.Errorf("client: empty Tenant key")
+	}
+	c := &Capture{
+		cfg: cfg,
+		url: fmt.Sprintf("%s/ingest?tenant=%s&stream=%d",
+			cfg.Server, url.QueryEscape(cfg.Tenant), cfg.Stream),
+		buf:     make([]ref.Ref, 0, cfg.BufferRefs),
+		pending: make(chan []ref.Ref, cfg.MaxPending),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.publisher()
+	if cfg.FlushInterval > 0 {
+		c.wg.Add(1)
+		go c.ticker()
+	}
+	return c, nil
+}
+
+// Add captures one data reference. It never blocks on the network: a full
+// publish queue drops the oldest unpublished batch (counted in Stats) and
+// capture continues.
+func (c *Capture) Add(pc int, addr uint64) {
+	c.captured.Add(1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.dropped.Add(1)
+		return
+	}
+	c.buf = append(c.buf, ref.Ref{PC: pc, Addr: addr})
+	var full []ref.Ref
+	if len(c.buf) >= c.cfg.BufferRefs {
+		full = c.buf
+		c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+		c.enqWG.Add(1)
+	}
+	c.mu.Unlock()
+	if full != nil {
+		c.enqueue(full)
+		c.enqWG.Done()
+	}
+}
+
+// AddBatch captures a run of references in order.
+func (c *Capture) AddBatch(refs []Ref) {
+	c.captured.Add(uint64(len(refs)))
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.dropped.Add(uint64(len(refs)))
+		return
+	}
+	var batches [][]ref.Ref
+	for len(refs) > 0 {
+		n := c.cfg.BufferRefs - len(c.buf)
+		if n > len(refs) {
+			n = len(refs)
+		}
+		for _, r := range refs[:n] {
+			c.buf = append(c.buf, ref.Ref{PC: r.PC, Addr: r.Addr})
+		}
+		refs = refs[n:]
+		if len(c.buf) >= c.cfg.BufferRefs {
+			batches = append(batches, c.buf)
+			c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+		}
+	}
+	c.enqWG.Add(len(batches))
+	c.mu.Unlock()
+	for _, b := range batches {
+		c.enqueue(b)
+		c.enqWG.Done()
+	}
+}
+
+// enqueue hands a full batch to the publisher, dropping the oldest pending
+// batch when the queue is full so capture keeps absorbing fresh references.
+func (c *Capture) enqueue(batch []ref.Ref) {
+	for {
+		select {
+		case c.pending <- batch:
+			return
+		default:
+		}
+		select {
+		case old := <-c.pending:
+			c.dropped.Add(uint64(len(old)))
+		default:
+		}
+	}
+}
+
+// Flush publishes the current partial buffer synchronously (unlike the
+// background publishes Add triggers). It returns the publish error, if any.
+func (c *Capture) Flush() error {
+	c.mu.Lock()
+	batch := c.buf
+	if len(batch) > 0 {
+		c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+	}
+	c.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return c.publish(batch)
+}
+
+// Close stops the timers, publishes everything still buffered, and waits for
+// in-flight publishes to finish — the emit-on-shutdown guarantee. Close is
+// idempotent; Add after Close drops (and counts) the reference.
+func (c *Capture) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return nil
+	}
+	c.closed = true
+	batch := c.buf
+	c.buf = nil
+	c.mu.Unlock()
+	close(c.done)
+	if len(batch) > 0 {
+		c.enqueue(batch)
+	}
+	c.enqWG.Wait()
+	close(c.pending)
+	c.wg.Wait()
+	if c.errors.Load() > 0 {
+		return fmt.Errorf("client: %d publish(es) failed (%d refs dropped)",
+			c.errors.Load(), c.dropped.Load())
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the capture's counters. At quiescence (after
+// Close) Captured == Published + Dropped + the final buffered remainder of a
+// never-published partial batch (zero after a clean Close).
+func (c *Capture) Stats() Stats {
+	return Stats{
+		Captured:  c.captured.Load(),
+		Published: c.published.Load(),
+		Dropped:   c.dropped.Load(),
+		Publishes: c.publishes.Load(),
+		Errors:    c.errors.Load(),
+	}
+}
+
+// publisher drains the pending queue until Close.
+func (c *Capture) publisher() {
+	defer c.wg.Done()
+	for batch := range c.pending {
+		if err := c.publish(batch); err != nil && c.cfg.OnError != nil {
+			c.cfg.OnError(err)
+		}
+	}
+}
+
+// ticker periodically moves the partial buffer onto the publish queue.
+func (c *Capture) ticker() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			if c.closed || len(c.buf) == 0 {
+				c.mu.Unlock()
+				continue
+			}
+			batch := c.buf
+			c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+			c.enqWG.Add(1)
+			c.mu.Unlock()
+			c.enqueue(batch)
+			c.enqWG.Done()
+		}
+	}
+}
+
+// publish frames one batch and POSTs it to the ingest endpoint.
+func (c *Capture) publish(batch []ref.Ref) error {
+	var body bytes.Buffer
+	if err := tracefile.Write(&body, batch); err != nil {
+		c.errors.Add(1)
+		c.dropped.Add(uint64(len(batch)))
+		return fmt.Errorf("client: encode: %w", err)
+	}
+	resp, err := c.cfg.HTTPClient.Post(c.url, "application/octet-stream", &body)
+	if err != nil {
+		c.errors.Add(1)
+		c.dropped.Add(uint64(len(batch)))
+		return fmt.Errorf("client: publish: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.errors.Add(1)
+		c.dropped.Add(uint64(len(batch)))
+		var msg [256]byte
+		n, _ := resp.Body.Read(msg[:])
+		return fmt.Errorf("client: publish: server returned %s: %s", resp.Status, msg[:n])
+	}
+	c.published.Add(uint64(len(batch)))
+	c.publishes.Add(1)
+	return nil
+}

@@ -1,0 +1,285 @@
+package client_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hotprefetch"
+	"hotprefetch/client"
+)
+
+// newService boots a real multi-tenant service on a test listener.
+func newService(t *testing.T, cfg hotprefetch.ServiceConfig) (*hotprefetch.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := hotprefetch.NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return svc, srv
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := client.New(client.Config{Tenant: "a"}); err == nil {
+		t.Error("empty Server accepted")
+	}
+	if _, err := client.New(client.Config{Server: "http://x"}); err == nil {
+		t.Error("empty Tenant accepted")
+	}
+}
+
+// TestCaptureEndToEnd is the client library's round trip: captured
+// references arrive in the tenant's server-side profile, and after Close the
+// client's and server's books agree exactly.
+func TestCaptureEndToEnd(t *testing.T) {
+	svc, srv := newService(t, hotprefetch.ServiceConfig{})
+	cc, err := client.New(client.Config{
+		Server:        srv.URL,
+		Tenant:        "app-1",
+		Stream:        42,
+		BufferRefs:    256,
+		FlushInterval: -1, // explicit publishes only
+		MaxPending:    64, // deep enough that nothing drops
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refs = 1000 // 3 full buffers + a partial for Close to publish
+	for i := 0; i < refs; i++ {
+		cc.Add(100+i%13, uint64(0x1000+8*(i%64)))
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := cc.Stats()
+	if st.Captured != refs || st.Published != refs || st.Dropped != 0 {
+		t.Fatalf("client books: %+v, want %d captured = published", st, refs)
+	}
+	sst := svc.Stats()
+	if len(sst.Tenants) != 1 || sst.Tenants[0].Key != "app-1" {
+		t.Fatalf("server tenants: %+v", sst.Tenants)
+	}
+	if got := sst.Tenants[0].PublishedRefs; got != refs {
+		t.Fatalf("server received %d refs, client published %d", got, refs)
+	}
+	if p := sst.Tenants[0].Profile; p.Pushed != refs {
+		t.Fatalf("server pushed %d, want %d", p.Pushed, refs)
+	}
+}
+
+func TestCaptureAddBatchAndFlush(t *testing.T) {
+	svc, srv := newService(t, hotprefetch.ServiceConfig{})
+	cc, err := client.New(client.Config{
+		Server: srv.URL, Tenant: "app-2", Stream: 7,
+		BufferRefs: 128, FlushInterval: -1, MaxPending: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]client.Ref, 300) // spans multiple buffers
+	for i := range batch {
+		batch[i] = client.Ref{PC: i % 9, Addr: uint64(i)}
+	}
+	cc.AddBatch(batch)
+	if err := cc.Flush(); err != nil { // push the 44-ref remainder
+		t.Fatal(err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.Published != 300 {
+		t.Fatalf("published %d, want 300", st.Published)
+	}
+	if got := svc.Stats().Tenants[0].PublishedRefs; got != 300 {
+		t.Fatalf("server received %d refs, want 300", got)
+	}
+}
+
+// TestCapturePeriodicFlush covers the timer path: a partial buffer reaches
+// the server without Flush or Close.
+func TestCapturePeriodicFlush(t *testing.T) {
+	svc, srv := newService(t, hotprefetch.ServiceConfig{})
+	cc, err := client.New(client.Config{
+		Server: srv.URL, Tenant: "app-3",
+		FlushInterval: 5 * time.Millisecond, MaxPending: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	cc.Add(1, 0x10)
+	cc.Add(2, 0x18)
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().PublishedRefs < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("periodic flush never published: client %+v", cc.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCaptureBackpressureDrops pins the never-block contract: with the
+// publisher wedged behind a slow server, capture keeps absorbing references,
+// drops whole batches, and the books still balance exactly.
+func TestCaptureBackpressureDrops(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedge every publish until the test releases it
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer slow.Close()
+	defer once.Do(func() { close(release) })
+
+	cc, err := client.New(client.Config{
+		Server: slow.URL, Tenant: "app-4",
+		BufferRefs: 8, FlushInterval: -1, MaxPending: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refs = 800
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < refs; i++ {
+			cc.Add(i%5, uint64(i))
+		}
+	}()
+	select {
+	case <-done: // capture never blocked on the wedged server
+	case <-time.After(10 * time.Second):
+		t.Fatal("Add blocked behind a wedged publisher")
+	}
+	st := cc.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops despite a wedged publisher and MaxPending=1")
+	}
+	once.Do(func() { close(release) })
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = cc.Stats()
+	if st.Captured != refs || st.Published+st.Dropped != refs {
+		t.Fatalf("books don't balance: %+v (want published + dropped = %d)", st, refs)
+	}
+	t.Logf("backpressure: %d captured, %d published, %d dropped", st.Captured, st.Published, st.Dropped)
+}
+
+// TestCaptureServerErrors: failed publishes are counted, their refs are
+// accounted as dropped, OnError fires, and Close reports the failures.
+func TestCaptureServerErrors(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "tenant quota exhausted", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+	var mu sync.Mutex
+	var seen []error
+	cc, err := client.New(client.Config{
+		Server: bad.URL, Tenant: "app-5",
+		BufferRefs: 4, FlushInterval: -1, MaxPending: 64,
+		OnError: func(err error) { mu.Lock(); seen = append(seen, err); mu.Unlock() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		cc.Add(1, uint64(i))
+	}
+	if err := cc.Close(); err == nil {
+		t.Fatal("Close reported success despite failed publishes")
+	}
+	st := cc.Stats()
+	if st.Errors == 0 || st.Dropped != 16 || st.Published != 0 {
+		t.Fatalf("error books: %+v, want every ref dropped via failed publishes", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 || !strings.Contains(seen[0].Error(), "quota exhausted") {
+		t.Fatalf("OnError calls: %v", seen)
+	}
+}
+
+func TestCaptureCloseIdempotentAndAddAfterClose(t *testing.T) {
+	_, srv := newService(t, hotprefetch.ServiceConfig{})
+	cc, err := client.New(client.Config{Server: srv.URL, Tenant: "app-6", FlushInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Add(1, 2)
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	cc.Add(3, 4) // must not panic or publish
+	if st := cc.Stats(); st.Captured != 2 || st.Published != 1 || st.Dropped != 1 {
+		t.Fatalf("post-close books: %+v", st)
+	}
+}
+
+// TestCaptureConcurrentProducers drives Add from many goroutines — the
+// documented shared-capture mode — under the race detector.
+func TestCaptureConcurrentProducers(t *testing.T) {
+	svc, srv := newService(t, hotprefetch.ServiceConfig{})
+	cc, err := client.New(client.Config{
+		Server: srv.URL, Tenant: "app-7",
+		BufferRefs: 64, FlushInterval: time.Millisecond, MaxPending: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, each = 16, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				cc.Add(p, uint64(i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := cc.Stats()
+	if st.Captured != producers*each {
+		t.Fatalf("captured %d, want %d", st.Captured, producers*each)
+	}
+	if st.Published+st.Dropped != st.Captured {
+		t.Fatalf("books don't balance: %+v", st)
+	}
+	if got := svc.Stats().Tenants[0].PublishedRefs; got != st.Published {
+		t.Fatalf("server received %d, client published %d", got, st.Published)
+	}
+}
+
+// TestCaptureTenantMismatch: a capture pointed at a bad tenant key keeps
+// failing cleanly rather than crashing or hanging.
+func TestCaptureTenantMismatch(t *testing.T) {
+	_, srv := newService(t, hotprefetch.ServiceConfig{})
+	cc, err := client.New(client.Config{
+		Server: srv.URL, Tenant: "bad key", // rejected server-side (400)
+		BufferRefs: 2, FlushInterval: -1, MaxPending: 8,
+	})
+	if err != nil {
+		t.Fatal(err) // key validity is the server's call, not the client's
+	}
+	cc.Add(1, 1)
+	cc.Add(2, 2)
+	err = cc.Close()
+	if err == nil {
+		t.Fatal("Close succeeded against a rejecting server")
+	}
+	if st := cc.Stats(); st.Published != 0 || st.Dropped != 2 {
+		t.Fatalf("mismatch books: %+v", st)
+	}
+}

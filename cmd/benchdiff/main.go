@@ -125,7 +125,8 @@ func loadBaseline(path string, into map[string]measure) error {
 // pkgPrefixes maps `pkg:` header lines in bench output to the name prefix
 // the baseline files use (the root package is unprefixed).
 var pkgPrefixes = map[string]string{
-	"hotprefetch/internal/ring": "ring.",
+	"hotprefetch/internal/ring":      "ring.",
+	"hotprefetch/internal/tracefile": "tracefile.",
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"expvar"
 	"flag"
@@ -141,7 +142,6 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer ln.Close()
 			mux := http.NewServeMux()
 			mux.Handle("/metrics", svc.MetricsHandler())
 			expvar.Publish("hotprefetch", svc.ExpvarVar())
@@ -151,6 +151,17 @@ func main() {
 				if err := srv.Serve(ln); err != nil &&
 					err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) {
 					log.Printf("metrics server: %v", err)
+				}
+			}()
+			// Registered after `defer svc.Close()`, so on the drain path the
+			// server shuts down first: an in-flight scrape finishes against a
+			// live profile instead of being cut off mid-response by a bare
+			// listener close, and only then does the profile close.
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					log.Printf("metrics server shutdown: %v", err)
 				}
 			}()
 			log.Printf("serving metrics on http://%s/metrics", ln.Addr())

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hotprefetch/client"
+	"hotprefetch/internal/ref"
+	"hotprefetch/internal/tracefile"
+)
+
+// TestDaemonSmoke boots the daemon in-process on an ephemeral port, drives
+// synthetic clients at it through the client library, checks the HTTP API
+// surface, then delivers SIGINT and verifies the graceful drain: run returns
+// cleanly and the final report reconciles with what the clients sent.
+func TestDaemonSmoke(t *testing.T) {
+	const (
+		clients   = 8
+		tenants   = 4
+		perClient = 600
+	)
+	ready := make(chan net.Addr, 1)
+	var out bytes.Buffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-shards", "2",
+			"-membudget", "1024",
+			"-draintimeout", "5s",
+		}, &out, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("daemon died before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr.String()
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cc, err := client.New(client.Config{
+				Server:        base,
+				Tenant:        fmt.Sprintf("smoke-%d", ci%tenants),
+				Stream:        uint64(ci + 1),
+				BufferRefs:    128,
+				FlushInterval: -1,
+				MaxPending:    64,
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", ci, err)
+				return
+			}
+			for i := 0; i < perClient; i++ {
+				cc.Add(ci, uint64(0x1000*ci+8*(i%32)))
+			}
+			if err := cc.Close(); err != nil {
+				t.Errorf("client %d close: %v", ci, err)
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	// The API surface answers: stats reconcile, metrics expose, direct
+	// tracefile POSTs ingest.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		TenantCount   int    `json:"tenant_count"`
+		PublishedRefs uint64 `json:"published_refs"`
+		Tenants       []struct {
+			Key           string `json:"key"`
+			PublishedRefs uint64 `json:"published_refs"`
+		} `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	const want = clients * perClient
+	if st.TenantCount != tenants || st.PublishedRefs != want {
+		t.Fatalf("daemon stats: %d tenants / %d refs, want %d / %d", st.TenantCount, st.PublishedRefs, tenants, want)
+	}
+	for _, ts := range st.Tenants {
+		if ts.PublishedRefs != want/tenants {
+			t.Errorf("tenant %s: %d refs, want %d", ts.Key, ts.PublishedRefs, want/tenants)
+		}
+	}
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("GET %s: %s (%d bytes)", path, resp.Status, len(body))
+		}
+	}
+	var raw bytes.Buffer
+	if err := writeSmokeTrace(&raw, 100); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/ingest?tenant=smoke-raw", "application/octet-stream", &raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw ingest: %s", resp.Status)
+	}
+
+	// Graceful drain on SIGINT: run returns nil and the final report covers
+	// every tenant.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGINT", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s of SIGINT")
+	}
+	report := out.String()
+	if !strings.Contains(report, fmt.Sprintf("tenants      %d", tenants+1)) {
+		t.Errorf("final report tenant count wrong:\n%s", report)
+	}
+	for ci := 0; ci < tenants; ci++ {
+		if !strings.Contains(report, fmt.Sprintf("smoke-%d", ci)) {
+			t.Errorf("final report missing tenant smoke-%d:\n%s", ci, report)
+		}
+	}
+}
+
+// writeSmokeTrace frames n synthetic references for a raw-POST ingest.
+func writeSmokeTrace(w io.Writer, n int) error {
+	refs := make([]ref.Ref, n)
+	for i := range refs {
+		refs[i] = ref.Ref{PC: i % 11, Addr: uint64(0x2000 + 16*i)}
+	}
+	return tracefile.Write(w, refs)
+}

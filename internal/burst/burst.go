@@ -21,6 +21,8 @@
 // traces next to nothing). Everything is deterministic.
 package burst
 
+import "fmt"
+
 // Phase identifies the profiler's current phase.
 type Phase int
 
@@ -67,16 +69,36 @@ func PaperConfig() Config {
 }
 
 // SamplingRate returns the awake-phase sampling rate nInstr0 /
-// (nInstr0 + nCheck0).
+// (nInstr0 + nCheck0). An all-zero (or otherwise degenerate) configuration
+// reports 0 rather than NaN, so the rate can be exported as a gauge without
+// poisoning the scrape.
 func (c Config) SamplingRate() float64 {
+	if c.NInstr0+c.NCheck0 <= 0 {
+		return 0
+	}
 	return float64(c.NInstr0) / float64(c.NInstr0+c.NCheck0)
 }
 
 // OverallRate returns the long-run sampling rate including hibernation
 // (§2.2): (nAwake0*nInstr0) / ((nAwake0+nHibernate0)*(nInstr0+nCheck0)).
+// Like SamplingRate, a zero denominator reports 0, never NaN.
 func (c Config) OverallRate() float64 {
-	return float64(c.NAwake0*c.NInstr0) /
-		(float64(c.NAwake0+c.NHibernate0) * float64(c.NInstr0+c.NCheck0))
+	d := float64(c.NAwake0+c.NHibernate0) * float64(c.NInstr0+c.NCheck0)
+	if d <= 0 {
+		return 0
+	}
+	return float64(c.NAwake0*c.NInstr0) / d
+}
+
+// Validate reports whether the counter configuration can drive a controller:
+// every counter must be positive, or the burst-period state machine divides
+// its phase lengths by zero and the exported sampling-rate gauges go NaN.
+func (c Config) Validate() error {
+	if c.NCheck0 < 1 || c.NInstr0 < 1 || c.NAwake0 < 1 || c.NHibernate0 < 1 {
+		return fmt.Errorf("burst: non-positive counter (nCheck0 %d, nInstr0 %d, nAwake0 %d, nHibernate0 %d); every counter must be >= 1",
+			c.NCheck0, c.NInstr0, c.NAwake0, c.NHibernate0)
+	}
+	return nil
 }
 
 // Stats counts controller activity.

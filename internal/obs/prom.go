@@ -47,6 +47,21 @@ func WriteCounterVec(w io.Writer, name, help, label string, values map[string]ui
 	}
 }
 
+// WriteGaugeVec writes one gauge family with a sample per label value:
+// values maps the label's value to the sample. Samples are emitted in
+// sorted label order so output is deterministic.
+func WriteGaugeVec(w io.Writer, name, help, label string, values map[string]float64) {
+	writeHeader(w, name, help, "gauge")
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeSample(w, name, "", []string{label, k}, formatFloat(values[k]))
+	}
+}
+
 // WritePrometheus writes h as a Prometheus histogram family: cumulative
 // le-labeled buckets in the exported unit, then _sum and _count.
 func (h *Histogram) WritePrometheus(w io.Writer) {

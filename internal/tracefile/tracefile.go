@@ -51,9 +51,27 @@ func Write(w io.Writer, refs []ref.Ref) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace written by Write.
-func Read(r io.Reader) ([]ref.Ref, error) {
-	br := bufio.NewReader(r)
+// Decoder decodes a trace incrementally, a caller-sized chunk of references
+// at a time, so a consumer never has to materialize the whole stream: the
+// resident cost of decoding is the chunk buffer, regardless of how many
+// references the header claims or the body carries. This is what a network
+// ingest path must use — Read's all-at-once slice lets a large (or
+// maliciously long) upload grow the server's heap by the full trace size.
+type Decoder struct {
+	br               *bufio.Reader
+	count            int64 // references the header declares
+	decoded          int64 // references decoded so far
+	prevPC, prevAddr int64
+}
+
+// NewDecoder reads and validates the trace header from r and returns a
+// decoder positioned at the first reference. The declared count is bounded
+// the same way Read bounds it; nothing is pre-allocated from it.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
 	var head [8]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
 		return nil, fmt.Errorf("tracefile: short header: %w", err)
@@ -68,28 +86,68 @@ func Read(r io.Reader) ([]ref.Ref, error) {
 	if count < 0 || count > 1<<32 {
 		return nil, fmt.Errorf("tracefile: implausible count %d", count)
 	}
+	return &Decoder{br: br, count: count}, nil
+}
+
+// Count returns the number of references the header declares. The body may
+// still turn out to be truncated; Next reports that as an error.
+func (d *Decoder) Count() int64 { return d.count }
+
+// Remaining returns how many declared references have not been decoded yet.
+func (d *Decoder) Remaining() int64 { return d.count - d.decoded }
+
+// Next decodes up to len(buf) references into buf and returns how many it
+// decoded. At end of trace it returns (0, io.EOF); a truncated or corrupt
+// body returns the underlying decode error. Next never allocates: the only
+// buffer involved is the caller's.
+func (d *Decoder) Next(buf []ref.Ref) (int, error) {
+	if d.decoded >= d.count {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(buf) && d.decoded < d.count {
+		dpc, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return n, fmt.Errorf("tracefile: ref %d pc: %w", d.decoded, err)
+		}
+		daddr, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return n, fmt.Errorf("tracefile: ref %d addr: %w", d.decoded, err)
+		}
+		d.prevPC += dpc
+		d.prevAddr += daddr
+		buf[n] = ref.Ref{PC: int(d.prevPC), Addr: uint64(d.prevAddr)}
+		n++
+		d.decoded++
+	}
+	return n, nil
+}
+
+// Read decodes a trace written by Write, materializing it as one slice —
+// fine for traces the caller chose to load (a -load file), wrong for
+// untrusted network bodies, which should stream through a Decoder instead.
+func Read(r io.Reader) ([]ref.Ref, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
 	// Pre-size from the header only up to a modest cap: the count is
 	// attacker-controlled (a 9-byte file can claim 2^32 refs), so beyond the
 	// cap the slice grows only as actual data arrives.
-	sizeHint := count
+	sizeHint := d.count
 	if sizeHint > 1<<16 {
 		sizeHint = 1 << 16
 	}
 	refs := make([]ref.Ref, 0, sizeHint)
-	prevPC := int64(0)
-	prevAddr := int64(0)
-	for i := int64(0); i < count; i++ {
-		dpc, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("tracefile: ref %d pc: %w", i, err)
+	var chunk [4096]ref.Ref
+	for {
+		n, err := d.Next(chunk[:])
+		refs = append(refs, chunk[:n]...)
+		if err == io.EOF {
+			return refs, nil
 		}
-		daddr, err := binary.ReadVarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("tracefile: ref %d addr: %w", i, err)
+			return nil, err
 		}
-		prevPC += dpc
-		prevAddr += daddr
-		refs = append(refs, ref.Ref{PC: int(prevPC), Addr: uint64(prevAddr)})
 	}
-	return refs, nil
 }

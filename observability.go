@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"io"
 	"net/http"
+	"sort"
 
 	"hotprefetch/internal/obs"
 )
@@ -63,6 +64,7 @@ func (sp *ShardedProfile) WriteMetrics(w io.Writer) {
 	obs.WriteCounter(w, "hotprefetch_refs_dropped_total", "References shed on full rings.", st.Dropped)
 	obs.WriteCounter(w, "hotprefetch_refs_sampled_out_total", "References skipped by sampling degradation.", st.Sampled)
 	obs.WriteCounter(w, "hotprefetch_burst_shed_total", "References shed by the bursty-sampling front end.", st.BurstShed)
+	obs.WriteCounter(w, "hotprefetch_refs_quota_shed_total", "References shed at the producer boundary by the reference quota.", st.QuotaShed)
 	if sp.cfg.Burst.Enabled {
 		bc := sp.cfg.Burst.controllerConfig()
 		obs.WriteGauge(w, "hotprefetch_burst_sampling_rate", "Configured awake-phase burst sampling rate.", bc.SamplingRate())
@@ -105,4 +107,90 @@ func (sp *ShardedProfile) MetricsHandler() http.Handler {
 //	expvar.Publish("hotprefetch", sp.ExpvarVar())
 func (sp *ShardedProfile) ExpvarVar() expvar.Var {
 	return expvar.Func(func() any { return sp.Stats() })
+}
+
+// otherTenantLabel aggregates tenants beyond the MetricsTenants cardinality
+// bound. "_other" is a legal tenant key, so to keep the aggregate honest a
+// real tenant with that exact key is always folded into it rather than ever
+// labeled individually.
+const otherTenantLabel = "_other"
+
+// WriteMetrics writes the service's metrics in Prometheus text exposition
+// format: registry and ingest-endpoint counters, plus per-tenant series with
+// bounded label cardinality — the busiest ServiceConfig.MetricsTenants
+// tenants (by published references) get their own tenant="key" series, and
+// every remaining tenant is folded into tenant="_other", so scrape size is
+// bounded however many tenants churn through the registry.
+func (svc *Service) WriteMetrics(w io.Writer) {
+	obs.WriteGauge(w, "hotprefetch_service_tenants", "Registered tenants.", float64(svc.TenantCount()))
+	obs.WriteCounter(w, "hotprefetch_service_evictions_total", "Tenants evicted from the registry.", svc.evictions.Load())
+	obs.WriteCounter(w, "hotprefetch_service_publishes_total", "Publish requests accepted.", svc.publishes.Load())
+	obs.WriteCounter(w, "hotprefetch_service_published_refs_total", "References accepted from publish bodies.", svc.publishedRefs.Load())
+	obs.WriteCounter(w, "hotprefetch_service_decode_errors_total", "Publish bodies rejected by the wire-format decoder.", svc.decodeErrors.Load())
+	obs.WriteCounter(w, "hotprefetch_service_rejected_total", "Publish requests rejected before decoding (bad tenant key).", svc.rejected.Load())
+
+	tenants := svc.snapshotTenants()
+	// Busiest tenants first; the tail shares the _other aggregate.
+	sort.Slice(tenants, func(i, j int) bool {
+		pi, pj := tenants[i].published.Load(), tenants[j].published.Load()
+		if pi != pj {
+			return pi > pj
+		}
+		return tenants[i].key < tenants[j].key
+	})
+	type counterSeries struct {
+		name, help string
+		value      func(Stats, *Tenant) uint64
+	}
+	counters := []counterSeries{
+		{"hotprefetch_tenant_published_refs_total", "References accepted from this tenant's publish bodies.",
+			func(_ Stats, t *Tenant) uint64 { return t.published.Load() }},
+		{"hotprefetch_tenant_refs_pushed_total", "References accepted into the tenant's shard rings.",
+			func(st Stats, _ *Tenant) uint64 { return st.Pushed }},
+		{"hotprefetch_tenant_refs_consumed_total", "References compressed into the tenant's grammars.",
+			func(st Stats, _ *Tenant) uint64 { return st.Consumed }},
+		{"hotprefetch_tenant_refs_dropped_total", "References shed on the tenant's full rings.",
+			func(st Stats, _ *Tenant) uint64 { return st.Dropped }},
+		{"hotprefetch_tenant_refs_sampled_out_total", "References skipped by the tenant's sampling degradation.",
+			func(st Stats, _ *Tenant) uint64 { return st.Sampled }},
+		{"hotprefetch_tenant_burst_shed_total", "References shed by the tenant's bursty-sampling front end.",
+			func(st Stats, _ *Tenant) uint64 { return st.BurstShed }},
+		{"hotprefetch_tenant_quota_shed_total", "References shed by the tenant's reference quota.",
+			func(st Stats, _ *Tenant) uint64 { return st.QuotaShed }},
+		{"hotprefetch_tenant_grammar_resets_total", "Grammar budget cycles across the tenant's shards.",
+			func(st Stats, _ *Tenant) uint64 { return st.Resets }},
+	}
+	stats := make([]Stats, len(tenants))
+	for i, t := range tenants {
+		stats[i] = t.sp.Stats()
+	}
+	labeled := svc.cfg.MetricsTenants
+	label := func(i int, t *Tenant) string {
+		if i < labeled && t.key != otherTenantLabel {
+			return t.key
+		}
+		return otherTenantLabel
+	}
+	for _, cs := range counters {
+		values := make(map[string]uint64, labeled+1)
+		for i, t := range tenants {
+			values[label(i, t)] += cs.value(stats[i], t)
+		}
+		obs.WriteCounterVec(w, cs.name, cs.help, "tenant", values)
+	}
+	grammar := make(map[string]float64, labeled+1)
+	for i, t := range tenants {
+		grammar[label(i, t)] += float64(stats[i].GrammarSize)
+	}
+	obs.WriteGaugeVec(w, "hotprefetch_tenant_grammar_symbols",
+		"Live grammar size summed across the tenant's shards.", "tenant", grammar)
+}
+
+// MetricsHandler returns an http.Handler serving the service's WriteMetrics;
+// Service.Handler mounts it at GET /metrics.
+func (svc *Service) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		svc.WriteMetrics(w)
+	})
 }

@@ -115,7 +115,12 @@ func (b BurstConfig) controllerConfig() burst.Config {
 	return cfg
 }
 
-// Validate reports whether the burst configuration is well-formed.
+// Validate reports whether the burst configuration is well-formed. Zero
+// counters are valid here — they mean "use the paper's value" — but the
+// resolved controller configuration (after paper-default substitution) must
+// have every counter positive, so a controller can never be built whose
+// burst-period arithmetic divides by zero or whose exported sampling-rate
+// gauges read NaN.
 func (b BurstConfig) Validate() error {
 	if !b.Enabled {
 		return nil
@@ -124,7 +129,7 @@ func (b BurstConfig) Validate() error {
 		return fmt.Errorf("hotprefetch: negative burst counter (nCheck %d, nInstr %d, nAwake %d, nHibernate %d)",
 			b.NCheck, b.NInstr, b.NAwake, b.NHibernate)
 	}
-	return nil
+	return b.controllerConfig().Validate()
 }
 
 // ParseBurstConfig converts a flag value to a BurstConfig: "off" (or the
@@ -271,6 +276,15 @@ type ShardedConfig struct {
 	// in front of every shard's ingest policy; see BurstConfig. Each shard
 	// gets its own deterministic controller, advanced by its producer.
 	Burst BurstConfig
+
+	// RefQuota, when positive, caps the total references this profile will
+	// admit across all shards over its lifetime — the per-tenant budget the
+	// networked service enforces so one tenant's volume can never grow
+	// another tenant's grammars or rings. A reference over quota is shed at
+	// the producer boundary (before the burst front end and the ring) and
+	// counted in Stats.QuotaShed; like Drop shedding it is never an error.
+	// Zero means unlimited.
+	RefQuota uint64
 
 	// Observer, when non-nil, is the observability hub the profile emits
 	// phase events and latency observations into — supply one to subscribe

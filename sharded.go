@@ -57,6 +57,13 @@ type ShardedProfile struct {
 	analysisQ   chan analysisJob
 	workersDone sync.WaitGroup
 
+	// quotaUsed counts references admitted against cfg.RefQuota across all
+	// shards; producers reserve from it before touching any per-shard state,
+	// so the quota is exact even with concurrent producers (the counter may
+	// overshoot the quota, but every reference is admitted or shed exactly
+	// once).
+	quotaUsed atomic.Uint64
+
 	mergeCount  atomic.Uint64 // HotStreams merge passes
 	mergeNanos  atomic.Uint64 // cumulative time spent merging
 	cycles      atomic.Uint64 // cycle analyses completed (inline + background)
@@ -291,6 +298,10 @@ type ProfileShard struct {
 	// the front end shed without touching the ring.
 	burst     *burstGate
 	burstShed atomic.Uint64
+
+	// quotaShed counts references shed at this shard's producer boundary
+	// because the profile-wide RefQuota was exhausted.
+	quotaShed atomic.Uint64
 
 	// prodLock serializes Auto-placed producers on this shard (AddAuto and
 	// AddBatchAuto): the SPSC ring and the producer-local Sample/burst
@@ -833,6 +844,12 @@ func (s *ProfileShard) Add(r Ref) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if q := s.sp.cfg.RefQuota; q > 0 {
+		if s.sp.quotaUsed.Add(1) > q {
+			s.quotaShed.Add(1)
+			return nil
+		}
+	}
 	if s.burst != nil && !s.admitBurst() {
 		return nil
 	}
@@ -909,10 +926,35 @@ func (s *ProfileShard) AddBatch(refs []Ref) error {
 	if len(refs) == 0 {
 		return nil
 	}
+	if s.sp.cfg.RefQuota > 0 {
+		if refs = s.admitQuota(refs); len(refs) == 0 {
+			return nil
+		}
+	}
 	if s.burst != nil {
 		return s.addBatchBurst(refs)
 	}
 	return s.pushBatchPolicy(refs)
+}
+
+// admitQuota reserves the batch against the profile-wide reference quota and
+// returns the admitted prefix; the shed suffix is counted in quotaShed. The
+// reservation is a single atomic add, so concurrent producers on different
+// shards split the remaining headroom exactly — never admitting more than
+// RefQuota references in total.
+func (s *ProfileShard) admitQuota(refs []Ref) []Ref {
+	q := s.sp.cfg.RefQuota
+	used := s.sp.quotaUsed.Add(uint64(len(refs)))
+	if used <= q {
+		return refs
+	}
+	over := used - q
+	if over >= uint64(len(refs)) {
+		s.quotaShed.Add(uint64(len(refs)))
+		return nil
+	}
+	s.quotaShed.Add(over)
+	return refs[:uint64(len(refs))-over]
 }
 
 // pushBatchPolicy routes a burst-admitted run of references through the
@@ -1046,6 +1088,34 @@ func (sp *ShardedProfile) AddAuto(r Ref) error {
 // on one shard, so intra-batch regularity is never split.
 func (sp *ShardedProfile) AddBatchAuto(refs []Ref) error {
 	s := sp.shards[procid.Get()%len(sp.shards)]
+	s.lockProducer()
+	err := s.AddBatch(refs)
+	s.unlockProducer()
+	return err
+}
+
+// mix64 is the splitmix64 finalizer, used to spread stream identifiers over
+// shards without clustering on sequential ids.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PublishBatch appends a run of references on behalf of the logical stream
+// identified by stream: the batch lands whole on the shard the stream hashes
+// to, and concurrent publishers are serialized by that shard's producer lock
+// — the multi-producer entry point the networked service uses, where
+// references arrive from arbitrary handler goroutines rather than one
+// pinned producer per shard. A stable stream id keeps one remote client's
+// whole trace on one shard, preserving the regularity Sequitur detects (see
+// the ShardedProfile contract); distinct streams spread over shards.
+//
+// Do not mix PublishBatch with direct Shard(i) producers on the same
+// profile — like AddAuto, it shares the per-shard producer lock, which
+// direct shard producers bypass.
+func (sp *ShardedProfile) PublishBatch(stream uint64, refs []Ref) error {
+	s := sp.shards[mix64(stream)%uint64(len(sp.shards))]
 	s.lockProducer()
 	err := s.AddBatch(refs)
 	s.unlockProducer()

@@ -25,11 +25,13 @@ type ShardStats struct {
 	// BurstShed counts references shed by the bursty-sampling front end
 	// (ShardedConfig.Burst) before reaching the ring; BurstPhase is the
 	// front end's current phase ("awake" or "hibernating"), empty when
-	// bursty sampling is disabled. At producer quiescence every reference
-	// handed to the shard is in exactly one of Pushed, Dropped, Sampled, or
-	// BurstShed.
+	// bursty sampling is disabled. QuotaShed counts references shed at the
+	// producer boundary because the profile-wide RefQuota was exhausted. At
+	// producer quiescence every reference handed to the shard is in exactly
+	// one of Pushed, Dropped, Sampled, BurstShed, or QuotaShed.
 	BurstShed  uint64 `json:"burst_shed"`
 	BurstPhase string `json:"burst_phase,omitempty"`
+	QuotaShed  uint64 `json:"quota_shed"`
 
 	// Resets counts grammar budget cycles (MaxGrammarSymbols); Retained is
 	// the number of hot streams currently banked by those cycles.
@@ -91,6 +93,7 @@ type Stats struct {
 	Dropped   uint64 `json:"dropped"`
 	Sampled   uint64 `json:"sampled"`
 	BurstShed uint64 `json:"burst_shed"`
+	QuotaShed uint64 `json:"quota_shed"`
 	Resets    uint64 `json:"resets"`
 
 	// GrammarSize sums the live per-shard grammar sizes.
@@ -218,6 +221,7 @@ func (sp *ShardedProfile) Stats() Stats {
 			AnalysesFailed:  failed,
 			AnalysesSkipped: skipped,
 			BurstShed:       s.burstShed.Load(),
+			QuotaShed:       s.quotaShed.Load(),
 		}
 		if s.burst != nil {
 			ss.BurstPhase = burst.Phase(s.burst.phase.Load()).String()
@@ -229,6 +233,7 @@ func (sp *ShardedProfile) Stats() Stats {
 		st.Dropped += ss.Dropped
 		st.Sampled += ss.Sampled
 		st.BurstShed += ss.BurstShed
+		st.QuotaShed += ss.QuotaShed
 		st.Resets += ss.Resets
 		st.GrammarSize += ss.GrammarSize
 		st.AnalysesFailed += ss.AnalysesFailed
