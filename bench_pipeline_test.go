@@ -16,13 +16,45 @@ import (
 )
 
 // BenchmarkAddBatch measures end-to-end ingestion (producer push through
-// consumer compression) per reference at increasing batch sizes; batch1 is
-// the per-reference Add baseline. The curve should be monotone: every
-// doubling of the batch amortizes the same per-batch overhead (ring fence,
-// digram-table epoch) over more references.
+// consumer compression) per reference at increasing batch sizes with the
+// two-level ingest front end on — the service's ingest configuration;
+// batch1 is the per-reference Add baseline, where windows never fill and
+// the front end is pure overhead. The curve should drop steeply once
+// batches are long enough for runs and phrase windows to collapse.
 func BenchmarkAddBatch(b *testing.B) {
 	trace := coreTrace(1 << 16)
 	for _, size := range []int{1, 4, 16, 256} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			sp, err := NewShardedProfileConfig(ShardedConfig{
+				Shards:  1,
+				Prepass: PrepassConfig{Mode: PrepassOn},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sp.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			pos := 0
+			for i := 0; i < b.N; i += size {
+				if pos+size > len(trace) {
+					pos = 0
+				}
+				if err := sp.AddBatch(0, trace[pos:pos+size]); err != nil {
+					b.Fatal(err)
+				}
+				pos += size
+			}
+		})
+	}
+}
+
+// BenchmarkAddBatchLossless is the prior bit-identical ingest path (prepass
+// off), kept benchmarked so the front end's win is always measured against
+// a live number rather than a stale one.
+func BenchmarkAddBatchLossless(b *testing.B) {
+	trace := coreTrace(1 << 16)
+	for _, size := range []int{16, 256} {
 		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
 			sp := NewShardedProfile(1)
 			defer sp.Close()

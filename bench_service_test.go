@@ -91,4 +91,9 @@ func BenchmarkServiceIngestParallel(b *testing.B) {
 	})
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*refsPerPublish), "refs-ns/op")
+	// Aggregate throughput across all publishers — the capacity-planning
+	// number: how many references per second one service instance absorbs.
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N*refsPerPublish)/sec, "refs/s")
+	}
 }

@@ -123,7 +123,7 @@ type Stats struct {
 // otherwise).
 type Capture struct {
 	cfg Config
-	url string
+	url *url.URL
 
 	mu     sync.Mutex
 	buf    []ref.Ref
@@ -132,6 +132,14 @@ type Capture struct {
 	pending chan []ref.Ref
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// spare recycles the capacity of published (or dropped) batches back to
+	// the buffer-rotation sites, and bodyPool recycles the tracefile encode
+	// buffer across publishes — together they make the steady-state capture
+	// loop reuse memory instead of allocating a buffer and a wire-format
+	// body per publish.
+	spare    chan []ref.Ref
+	bodyPool sync.Pool
 
 	// enqWG tracks enqueues started before Close flipped closed, so Close can
 	// wait for them before closing the pending channel. Enqueuers register
@@ -158,13 +166,20 @@ func New(cfg Config) (*Capture, error) {
 	if cfg.Tenant == "" {
 		return nil, fmt.Errorf("client: empty Tenant key")
 	}
+	// Parse the ingest URL once; publish reuses it so the per-request work
+	// is building the Request, not re-parsing the endpoint.
+	u, err := url.Parse(fmt.Sprintf("%s/ingest?tenant=%s&stream=%d",
+		cfg.Server, url.QueryEscape(cfg.Tenant), cfg.Stream))
+	if err != nil {
+		return nil, fmt.Errorf("client: bad ingest URL: %w", err)
+	}
 	c := &Capture{
 		cfg: cfg,
-		url: fmt.Sprintf("%s/ingest?tenant=%s&stream=%d",
-			cfg.Server, url.QueryEscape(cfg.Tenant), cfg.Stream),
+		url: u,
 		buf:     make([]ref.Ref, 0, cfg.BufferRefs),
 		pending: make(chan []ref.Ref, cfg.MaxPending),
 		done:    make(chan struct{}),
+		spare:   make(chan []ref.Ref, cfg.MaxPending+1),
 	}
 	c.wg.Add(1)
 	go c.publisher()
@@ -190,7 +205,7 @@ func (c *Capture) Add(pc int, addr uint64) {
 	var full []ref.Ref
 	if len(c.buf) >= c.cfg.BufferRefs {
 		full = c.buf
-		c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+		c.buf = c.newBatch()
 		c.enqWG.Add(1)
 	}
 	c.mu.Unlock()
@@ -221,7 +236,7 @@ func (c *Capture) AddBatch(refs []Ref) {
 		refs = refs[n:]
 		if len(c.buf) >= c.cfg.BufferRefs {
 			batches = append(batches, c.buf)
-			c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+			c.buf = c.newBatch()
 		}
 	}
 	c.enqWG.Add(len(batches))
@@ -244,6 +259,7 @@ func (c *Capture) enqueue(batch []ref.Ref) {
 		select {
 		case old := <-c.pending:
 			c.dropped.Add(uint64(len(old)))
+			c.recycleBatch(old)
 		default:
 		}
 	}
@@ -255,7 +271,7 @@ func (c *Capture) Flush() error {
 	c.mu.Lock()
 	batch := c.buf
 	if len(batch) > 0 {
-		c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+		c.buf = c.newBatch()
 	}
 	c.mu.Unlock()
 	if len(batch) == 0 {
@@ -331,7 +347,7 @@ func (c *Capture) ticker() {
 				continue
 			}
 			batch := c.buf
-			c.buf = make([]ref.Ref, 0, c.cfg.BufferRefs)
+			c.buf = c.newBatch()
 			c.enqWG.Add(1)
 			c.mu.Unlock()
 			c.enqueue(batch)
@@ -340,20 +356,77 @@ func (c *Capture) ticker() {
 	}
 }
 
-// publish frames one batch and POSTs it to the ingest endpoint.
+// newBatch returns an empty capture buffer, reusing a published batch's
+// capacity when one is waiting; the allocation happens only until the
+// recycle loop is primed.
+func (c *Capture) newBatch() []ref.Ref {
+	select {
+	case b := <-c.spare:
+		return b[:0]
+	default:
+		return make([]ref.Ref, 0, c.cfg.BufferRefs)
+	}
+}
+
+// recycleBatch returns a dead batch's capacity to the rotation sites. A full
+// spare queue (or an oddly-sized batch, e.g. Close's remainder after a
+// config change) just lets the slice go to the collector.
+func (c *Capture) recycleBatch(batch []ref.Ref) {
+	if cap(batch) < c.cfg.BufferRefs {
+		return
+	}
+	select {
+	case c.spare <- batch[:0]:
+	default:
+	}
+}
+
+// encodeBuffer is a bytes.Buffer usable directly as a request body — the
+// no-op Close lets publish hand the pooled buffer to the transport without
+// wrapping it in a fresh NopCloser allocation per request.
+type encodeBuffer struct{ bytes.Buffer }
+
+func (*encodeBuffer) Close() error { return nil }
+
+var octetStream = []string{"application/octet-stream"}
+
+// publish frames one batch and POSTs it to the ingest endpoint. The encode
+// buffer is pooled: after the transport has consumed the request body the
+// buffer's capacity is reused by the next publish, so a warm capture frames
+// batches without allocating the body again. The request is built by hand
+// from the pre-parsed URL (http.Client.Post would re-parse it per call);
+// GetBody is deliberately absent — the ingest endpoint never redirects, and
+// a replayed body would outlive the pooled buffer.
 func (c *Capture) publish(batch []ref.Ref) error {
-	var body bytes.Buffer
-	if err := tracefile.Write(&body, batch); err != nil {
+	defer c.recycleBatch(batch)
+	body, _ := c.bodyPool.Get().(*encodeBuffer)
+	if body == nil {
+		body = new(encodeBuffer)
+	}
+	body.Reset()
+	if err := tracefile.Write(&body.Buffer, batch); err != nil {
 		c.errors.Add(1)
 		c.dropped.Add(uint64(len(batch)))
 		return fmt.Errorf("client: encode: %w", err)
 	}
-	resp, err := c.cfg.HTTPClient.Post(c.url, "application/octet-stream", &body)
+	u := *c.url // per-request copy; concurrent publishes must not share one URL
+	req := &http.Request{
+		Method:        http.MethodPost,
+		URL:           &u,
+		Host:          u.Host,
+		Header:        http.Header{"Content-Type": octetStream},
+		Body:          body,
+		ContentLength: int64(body.Len()),
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
+		// An aborted round trip may leave the transport still draining the
+		// body; let this buffer go to the collector instead of the pool.
 		c.errors.Add(1)
 		c.dropped.Add(uint64(len(batch)))
 		return fmt.Errorf("client: publish: %w", err)
 	}
+	defer c.bodyPool.Put(body)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		c.errors.Add(1)

@@ -283,3 +283,86 @@ func TestCaptureTenantMismatch(t *testing.T) {
 		t.Fatalf("mismatch books: %+v", st)
 	}
 }
+
+// stubTransport answers every publish with 200 without a network or a
+// server, so allocation measurements see only the client's own work plus
+// net/http's fixed per-request cost.
+type stubTransport struct{}
+
+func (stubTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return &http.Response{StatusCode: http.StatusOK, Status: "200 OK", Body: http.NoBody}, nil
+}
+
+// newStubCapture builds a capture publishing into stubTransport with the
+// background timer off, so publishes happen only on Flush.
+func newStubCapture(t testing.TB, bufferRefs int) *client.Capture {
+	t.Helper()
+	cc, err := client.New(client.Config{
+		Server: "http://stub", Tenant: "alloc", Stream: 1,
+		BufferRefs: bufferRefs, FlushInterval: -1,
+		HTTPClient: &http.Client{Transport: stubTransport{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	return cc
+}
+
+// TestCapturePublishSteadyStateAllocs mirrors the grammar's
+// TestAppendRunSteadyStateAllocs for the capture loop: once the batch
+// freelist and encode-buffer pool are primed, a capture-and-flush cycle's
+// allocations are net/http's per-request cost alone — the buffer rotation
+// and the tracefile framing reuse pooled memory.
+func TestCapturePublishSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts include race-detector bookkeeping under -race")
+	}
+	cc := newStubCapture(t, 1024)
+	refs := make([]client.Ref, 512)
+	for i := range refs {
+		refs[i] = client.Ref{PC: i % 37, Addr: uint64(i%53) * 8}
+	}
+	// Prime the freelist and pools with one full cycle.
+	cc.AddBatch(refs)
+	if err := cc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		cc.AddBatch(refs)
+		if err := cc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Everything the client owns is pooled — the encode buffer, the batch
+	// slices, the parsed URL; the 12 allocations that remain are
+	// http.Client.Do's fixed per-request construction (header clone,
+	// cancellation plumbing) plus the stub's Response. The pre-pooling
+	// path cost 34. The bound holds that floor with small headroom.
+	if allocs > 14 {
+		t.Errorf("steady-state capture+flush allocated %.1f times per publish, want <= 14", allocs)
+	}
+}
+
+// BenchmarkClientPublish measures one full capture-and-publish cycle
+// against the stub transport: buffer rotation, tracefile framing, and the
+// HTTP round trip minus the network.
+func BenchmarkClientPublish(b *testing.B) {
+	cc := newStubCapture(b, 4096) // larger than the batch so Flush publishes synchronously
+	refs := make([]client.Ref, 2048)
+	for i := range refs {
+		refs[i] = client.Ref{PC: i % 37, Addr: uint64(i%53) * 8}
+	}
+	cc.AddBatch(refs)
+	if err := cc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.AddBatch(refs)
+		if err := cc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package client_test
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// counts include the detector's own bookkeeping under -race, so the
+// steady-state allocation test skips itself there.
+const raceEnabled = false

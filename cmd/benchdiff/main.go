@@ -127,6 +127,7 @@ func loadBaseline(path string, into map[string]measure) error {
 var pkgPrefixes = map[string]string{
 	"hotprefetch/internal/ring":      "ring.",
 	"hotprefetch/internal/tracefile": "tracefile.",
+	"hotprefetch/client":             "client.",
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+(.*)$`)
@@ -204,7 +205,14 @@ func report(w io.Writer, base, current map[string]measure, tol float64) error {
 		case delta < -tol:
 			status = "improved (refresh baseline?)"
 		}
-		if b.hasAllocs && c.hasAllocs && !allocsWithin(b.AllocsPerOp, c.AllocsPerOp, tol) {
+		switch {
+		case b.hasAllocs && !c.hasAllocs && b.AllocsPerOp == 0:
+			// A zero-alloc baseline compared against a run without
+			// -benchmem would silently skip the alloc gate — the exact
+			// regression the gate exists to catch slips through unchecked.
+			status = "**FAIL: no alloc data (zero-alloc baseline; run with -benchmem)**"
+			failed++
+		case b.hasAllocs && c.hasAllocs && !allocsWithin(b.AllocsPerOp, c.AllocsPerOp, tol):
 			status = "**FAIL: allocs**"
 			failed++
 		}

@@ -20,6 +20,9 @@ PASS
 pkg: hotprefetch/internal/ring
 BenchmarkPushPop-8         	67573528	        17.70 ns/op	       0 B/op	       0 allocs/op
 PASS
+pkg: hotprefetch/client
+BenchmarkClientPublish-8   	   17665	     33900 ns/op	    1496 B/op	      12 allocs/op
+PASS
 `
 
 const sampleBaseline = `{
@@ -34,7 +37,8 @@ const sampleBaseline = `{
     },
     "BenchmarkCycleTurnaroundInline": {"ns_per_op": 386.3, "max_stall_ns": 419582},
     "BenchmarkAddBatch/batch16": {"ns_per_op": 462.7, "bytes_per_op": 0, "allocs_per_op": 0},
-    "ring.BenchmarkPushPop": {"ns_per_op": 17.60, "bytes_per_op": 0, "allocs_per_op": 0}
+    "ring.BenchmarkPushPop": {"ns_per_op": 17.60, "bytes_per_op": 0, "allocs_per_op": 0},
+    "client.BenchmarkClientPublish": {"ns_per_op": 33867, "bytes_per_op": 1496, "allocs_per_op": 12}
   }
 }`
 
@@ -59,13 +63,13 @@ func TestDiffClean(t *testing.T) {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	got := out.String()
-	if !strings.Contains(got, "5 compared, 0 failed, 0 missing") {
+	if !strings.Contains(got, "6 compared, 0 failed, 0 missing") {
 		t.Errorf("wrong summary:\n%s", got)
 	}
 	for _, name := range []string{
 		"BenchmarkProfileAdd", "BenchmarkMatcherObserve",
 		"BenchmarkCycleTurnaroundInline", "BenchmarkAddBatch/batch16",
-		"ring.BenchmarkPushPop",
+		"ring.BenchmarkPushPop", "client.BenchmarkClientPublish",
 	} {
 		if !strings.Contains(got, "| "+name+" |") {
 			t.Errorf("missing row for %s:\n%s", name, got)
@@ -106,6 +110,30 @@ func TestDiffAllocRegression(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "FAIL: allocs") {
 		t.Errorf("missing alloc marker:\n%s", out.String())
+	}
+}
+
+// TestDiffNoAllocData: a zero-alloc baseline compared against a run made
+// without -benchmem must fail — otherwise the alloc gate silently skips.
+func TestDiffNoAllocData(t *testing.T) {
+	path := writeBaseline(t, `{"benchmarks": {
+		"BenchmarkProfileAdd": {"ns_per_op": 430.0, "allocs_per_op": 0},
+		"BenchmarkWithAllocs": {"ns_per_op": 100.0, "allocs_per_op": 5}
+	}}`)
+	// Neither line carries allocs/op; only the zero-alloc baseline fails.
+	bench := "pkg: hotprefetch\n" +
+		"BenchmarkProfileAdd-8 100 430.0 ns/op\n" +
+		"BenchmarkWithAllocs-8 100 100.0 ns/op\n"
+	var out strings.Builder
+	err := run([]string{"-baseline", path}, strings.NewReader(bench), &out)
+	if err == nil {
+		t.Fatalf("run succeeded with no alloc data against a zero-alloc baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: no alloc data") {
+		t.Errorf("missing no-alloc-data marker:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "1 benchmark(s)") {
+		t.Errorf("nonzero-alloc baseline without data should pass, got: %v", err)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"hotprefetch/internal/burst"
 	"hotprefetch/internal/experiment"
+	"hotprefetch/internal/sequitur"
 	"hotprefetch/internal/stats"
 	"hotprefetch/internal/workload"
 )
@@ -29,7 +30,7 @@ func main() {
 
 	fig := flag.Int("fig", 0, "regenerate figure 11 or 12")
 	table := flag.Int("table", 0, "regenerate table 2")
-	ablation := flag.String("ablation", "", "run an ablation: headlen, hardware, static, schedule, hybrid, stability, motivation, sampling, or reuse")
+	ablation := flag.String("ablation", "", "run an ablation: headlen, hardware, static, schedule, hybrid, stability, motivation, sampling, prepass, or reuse")
 	bench := flag.String("bench", "", "restrict to one benchmark (default: all six)")
 	all := flag.Bool("all", false, "regenerate everything")
 	format := flag.String("format", "text", "output format for figures/tables: text, csv, or chart")
@@ -163,6 +164,13 @@ func main() {
 			}
 			fmt.Println(stats.RenderSampling(cfg.title, results))
 		}
+	}
+	if *all || *ablation == "prepass" {
+		results, err := experiment.PrepassComparison(params, 0, sequitur.PrepassConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderPrepass(results))
 	}
 	if *all || *ablation == "reuse" {
 		results, err := experiment.ReuseDistances(params, 0)

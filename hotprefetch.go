@@ -149,6 +149,13 @@ type Profile struct {
 	grammar  *sequitur.Grammar
 	interner *ref.Interner
 
+	// prepass, when non-nil, is the two-level ingest front end AddBatch
+	// routes through: immediate repeats collapse into doubling rules and
+	// recently minted phrases replay as single rule symbols, so only
+	// residual novel symbols reach the digram table. Grammars are then
+	// equivalent to the lossless path after expansion, not bit-identical.
+	prepass *sequitur.Prepass
+
 	// symbuf is AddBatch's reusable interned-symbol scratch, so feeding a
 	// burst through AppendRun stays allocation-free in steady state.
 	symbuf []uint64
@@ -160,6 +167,24 @@ func NewProfile() *Profile {
 		grammar:  sequitur.New(),
 		interner: ref.NewInterner(),
 	}
+}
+
+// internal maps the public front-end knobs onto the sequitur package's
+// configuration (defaults are substituted there).
+func (c PrepassConfig) internal() sequitur.PrepassConfig {
+	return sequitur.PrepassConfig{Window: c.Window, MinRun: c.MinRun, CacheSize: c.CacheSize}
+}
+
+// NewPrepassProfile returns an empty profile whose AddBatch path runs the
+// two-level ingest front end (run collapsing + phrase-rule replay) ahead of
+// grammar compression. cfg.Mode is ignored — constructing the profile is the
+// decision. Snapshot expansion, and therefore every extracted hot stream, is
+// identical to a profile built without the front end; the grammars themselves
+// are not bit-identical.
+func NewPrepassProfile(cfg PrepassConfig) *Profile {
+	p := NewProfile()
+	p.prepass = sequitur.NewPrepass(p.grammar, cfg.internal())
+	return p
 }
 
 // Add appends one data reference to the profile.
@@ -185,7 +210,29 @@ func (p *Profile) AddBatch(refs []Ref) {
 	for i, r := range refs {
 		buf[i] = uint64(p.interner.Intern(ref.Ref{PC: r.PC, Addr: r.Addr}))
 	}
+	if p.prepass != nil {
+		p.prepass.Append(buf)
+		return
+	}
 	p.grammar.AppendRun(buf)
+}
+
+// Collapsed returns the number of references the ingest front end absorbed
+// without a digram-table epoch (zero for profiles built with NewProfile).
+func (p *Profile) Collapsed() uint64 {
+	if p.prepass == nil {
+		return 0
+	}
+	return p.prepass.Collapsed()
+}
+
+// MintedRules returns the number of phrase and run rules the ingest front
+// end has minted directly (zero for profiles built with NewProfile).
+func (p *Profile) MintedRules() uint64 {
+	if p.prepass == nil {
+		return 0
+	}
+	return p.prepass.Minted()
 }
 
 // AddAll appends each reference in order.
@@ -202,6 +249,11 @@ func (p *Profile) Len() uint64 { return p.grammar.Len() }
 func (p *Profile) Reset() {
 	p.grammar.Reset()
 	p.interner.Reset()
+	if p.prepass != nil {
+		// Cached rule indices die with the grammar; the front end must
+		// forget them before the next cycle reuses the arena slots.
+		p.prepass.Reset()
+	}
 }
 
 // GrammarSize returns the size of the underlying Sequitur grammar — the

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"testing"
+
+	"hotprefetch/internal/sequitur"
+)
+
+// TestPrepassPreservesHotStreams is the acceptance gate for the two-level
+// ingest front end: over every catalog workload, the prepass grammar must
+// expand to the exact input trace (PrepassComparison fails with an error
+// otherwise), and the hot streams detected through it must agree with the
+// lossless profile's. Calibration runs put every workload at or near 1.00
+// on all three agreement scores with collapse ratios of 0.21–0.50; the
+// thresholds below leave headroom for catalog drift, not for regressions.
+func TestPrepassPreservesHotStreams(t *testing.T) {
+	refs := 240000
+	if testing.Short() {
+		refs = 60000
+	}
+	res, err := PrepassComparison(nil, refs, sequitur.PrepassConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		t.Logf("%-8s collapse=%.3f symbols lossless=%d prepass=%d streams lossless=%d prepass=%d top=%.2f heat=%.2f prec=%.2f",
+			r.Name, r.CollapseRatio, r.LosslessSymbols, r.PrepassSymbols,
+			r.LosslessStreams, r.PrepassStreams, r.TopRecall, r.HeatRecall, r.Precision)
+		if r.LosslessStreams == 0 {
+			t.Errorf("%s: lossless profile found no hot streams; workload too small to compare", r.Name)
+			continue
+		}
+		if r.PrepassStreams == 0 {
+			t.Errorf("%s: no hot streams detected through the prepass (lossless found %d)",
+				r.Name, r.LosslessStreams)
+		}
+		if r.TopRecall < 0.8 {
+			t.Errorf("%s: top-10 recall %.2f, want >= 0.8", r.Name, r.TopRecall)
+		}
+		if r.HeatRecall < 0.8 {
+			t.Errorf("%s: heat-weighted recall %.2f, want >= 0.8", r.Name, r.HeatRecall)
+		}
+		if r.Precision < 0.8 {
+			t.Errorf("%s: precision %.2f, want >= 0.8", r.Name, r.Precision)
+		}
+		if r.CollapseRatio < 0.15 {
+			t.Errorf("%s: collapse ratio %.3f, want >= 0.15 — the front end is not absorbing work",
+				r.Name, r.CollapseRatio)
+		}
+		if r.PrepassSymbols > 2*r.LosslessSymbols {
+			t.Errorf("%s: prepass grammar %d symbols vs lossless %d — phrase/doubling overhead above 2x",
+				r.Name, r.PrepassSymbols, r.LosslessSymbols)
+		}
+	}
+}

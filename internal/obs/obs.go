@@ -171,6 +171,7 @@ type Observer struct {
 	AccuracyWindow  *Histogram // supervisor accuracy-window hit ratio
 	CompressLatency *Histogram // per-batch Sequitur compression wall time
 	BurstDuty       *Histogram // per-phase burst sampling duty (sampled/checked)
+	PrepassCollapse *Histogram // per-batch ingest front-end collapse ratio
 
 	mu      sync.Mutex // guards ring writes and tracer registration
 	ring    []Event    // fixed-capacity event ring
@@ -202,6 +203,7 @@ func NewWithCapacity(capacity int) *Observer {
 		AccuracyWindow:  NewRatioHistogram("hotprefetch_accuracy_window_ratio", "Supervisor accuracy-window hits/issued ratio."),
 		CompressLatency: NewDurationHistogram("hotprefetch_compress_latency_seconds", "Per-batch Sequitur compression latency (batches of 8+ references; smaller batches are below clock resolution)."),
 		BurstDuty:       NewRatioHistogram("hotprefetch_burst_duty_ratio", "References sampled per burst phase over references checked."),
+		PrepassCollapse: NewRatioHistogram("hotprefetch_prepass_collapse_ratio", "References absorbed by the two-level ingest front end per batch over batch size (batches of 8+ references)."),
 	}
 }
 

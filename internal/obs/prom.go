@@ -88,6 +88,7 @@ func (o *Observer) WritePrometheus(w io.Writer) {
 	o.AccuracyWindow.WritePrometheus(w)
 	o.CompressLatency.WritePrometheus(w)
 	o.BurstDuty.WritePrometheus(w)
+	o.PrepassCollapse.WritePrometheus(w)
 	events := make(map[string]uint64, NumKinds)
 	for k := Kind(1); k < kindCount; k++ {
 		events[k.String()] = o.counts[k].Load()

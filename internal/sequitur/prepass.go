@@ -1,0 +1,430 @@
+package sequitur
+
+// Two-level ingest compression: a phrase-collapsing front end in front of
+// the Sequitur digram machinery.
+//
+// AppendRun already amortizes digram-table epochs across a run, but every
+// reference still walks the full check/match path — one table probe, and on
+// duplicates a restructuring — which floors batched ingest in the hundreds
+// of nanoseconds per reference. Hot data streams are by construction highly
+// repetitive (the paper's whole premise), so most references arrive as part
+// of a phrase the grammar has already seen. The Prepass exploits that with
+// two allocation-free recognizers that run before the grammar proper:
+//
+//   - a run collapser that turns k >= MinRun immediate repeats of one
+//     symbol into O(log k) appends of lazily-minted doubling rules
+//     (R1 -> v v, R2 -> R1 R1, ...), instead of k digram-table epochs;
+//
+//   - a direct-mapped recent-phrase cache over a rolling hash of
+//     Window-symbol windows: a window whose content matches an
+//     already-minted rule's expansion is emitted as that single rule
+//     symbol via AppendRule, skipping the digram-table epoch for the whole
+//     window. A window seen for the second time (candidate hit) mints a
+//     pinned rule whose RHS is the window's terminals.
+//
+// Only residual novel symbols reach Grammar.AppendRun. The resulting
+// grammar is no longer bit-identical to the sequential path, but it is
+// content-lossless: Snapshot().Expand(0) reproduces the input exactly
+// (FuzzPrepassEquivalence enforces this), so hot-stream extraction sees the
+// same trace — equivalence-after-expansion replaces bit-identity as the
+// correctness bar (DESIGN.md §12).
+//
+// # Why minted rules are safe
+//
+// Minted rules break two Sequitur bookkeeping conventions, deliberately:
+//
+//   - Their internal digrams are not registered in the digram table. A
+//     missing table entry only costs dedup opportunities (a duplicate in
+//     the residual stream won't fold into the minted rule); no operation
+//     requires the table to be complete, and deleteDigram/delOwned are
+//     ownership-checked no-ops for unregistered digrams.
+//
+//   - Each minted rule carries a phantom +1 on its reference count — the
+//     cache's own reference. Rule deletion happens only in expand(), which
+//     fires only on an exact count of 1; a pinned rule referenced by n live
+//     nonterminals has count n+1 >= 2 whenever a nonterminal exists to be
+//     expanded, so a cached rule index stays valid (and its expansion
+//     fixed) until Grammar.Reset. Minted entries are sticky: a candidate
+//     never replaces a minted slot, so a hot phrase keeps one rule id for
+//     the whole cycle and its heat accrues to one rule instead of
+//     splintering across re-mints. A phrase that loses the slot race to an
+//     earlier mint stays residual — still consistently encoded, just by
+//     the digram machinery instead of the cache.
+//
+// Sequitur restructuring never changes a rule's expansion, only its
+// representation, so a cached rule symbol appended later always expands to
+// the cached phrase.
+type Prepass struct {
+	g *Grammar
+
+	window int
+	minRun int
+	shift  uint // 64 - log2(len(entries)); multiplicative slot hash
+	powW   uint64
+
+	entries []phraseEntry
+	phrases []uint64 // flat storage: entry i's phrase at [i*window, (i+1)*window)
+
+	runs []runEntry
+
+	// Cumulative counters; reset with the grammar (Reset).
+	collapsed uint64 // input refs emitted through rule symbols, bypassing AppendRun
+	minted    uint64 // rules minted (phrase rules + run doubling levels)
+	hits      uint64 // phrase-cache hits on minted rules
+	runRefs   uint64 // refs consumed by the run collapser
+}
+
+// PrepassConfig tunes a Prepass. The zero value selects the defaults.
+type PrepassConfig struct {
+	// Window is the phrase length in symbols (0 means 8). Kept below the
+	// default hot-stream MinLen of 10 so a lone phrase rule is never itself
+	// reported as a stream; composite rules built from phrase symbols carry
+	// the streams.
+	Window int
+
+	// MinRun is the shortest immediate-repeat run the run collapser takes
+	// over (0 means 4). Shorter runs go through the grammar, whose
+	// overlapping-digram handling ("aaa") is already linear.
+	MinRun int
+
+	// CacheSize is the number of direct-mapped phrase slots, rounded up to
+	// a power of two (0 means 1024).
+	CacheSize int
+}
+
+// Prepass defaults.
+const (
+	defaultPrepassWindow    = 8
+	defaultPrepassMinRun    = 4
+	defaultPrepassCacheSize = 1024
+
+	// phraseHashBase is the odd multiplier of the rolling polynomial hash.
+	phraseHashBase = 0x9E3779B97F4A7C15
+
+	// phraseSlotMix turns the rolling hash into a slot index by
+	// multiplicative hashing (take the high bits of h * odd constant).
+	phraseSlotMix = 0xD6E8FEB86659FD93
+
+	// maxRunLevels caps the doubling chain per symbol: level j expands to
+	// 2^(j+1) copies, so 21 levels cover runs beyond 4M references in one
+	// rule symbol; longer runs just repeat the top level.
+	maxRunLevels = 21
+
+	// runSlots is the direct-mapped run-cache size. Runs are dominated by a
+	// handful of symbols (zero fills, sentinel scans), so a small cache
+	// keeps the doubling chains hot without measurable footprint.
+	runSlots = 64
+)
+
+// phraseEntry states.
+const (
+	phraseEmpty uint8 = iota
+	phraseCandidate
+	phraseMinted
+)
+
+type phraseEntry struct {
+	hash  uint64
+	rule  uint32
+	state uint8
+}
+
+type runEntry struct {
+	sym    uint64
+	used   bool
+	n      uint8 // minted levels: levels[j] expands to 2^(j+1) copies of sym
+	levels [maxRunLevels]uint32
+}
+
+func (c PrepassConfig) withDefaults() PrepassConfig {
+	if c.Window <= 0 {
+		c.Window = defaultPrepassWindow
+	}
+	if c.Window < 2 {
+		c.Window = 2
+	}
+	if c.MinRun <= 0 {
+		c.MinRun = defaultPrepassMinRun
+	}
+	if c.MinRun < 2 {
+		c.MinRun = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = defaultPrepassCacheSize
+	}
+	// Round CacheSize up to a power of two for the multiplicative slot hash.
+	size := 1
+	for size < c.CacheSize {
+		size <<= 1
+	}
+	c.CacheSize = size
+	return c
+}
+
+// NewPrepass returns a phrase-collapsing front end feeding g. All cache
+// storage is allocated here; Append and Reset are allocation-free in steady
+// state. The Prepass owns rule references inside g, so it must be Reset
+// whenever g is (Profile.Reset does both).
+func NewPrepass(g *Grammar, cfg PrepassConfig) *Prepass {
+	cfg = cfg.withDefaults()
+	shift := uint(64)
+	for s := cfg.CacheSize; s > 1; s >>= 1 {
+		shift--
+	}
+	powW := uint64(1)
+	for i := 0; i < cfg.Window-1; i++ {
+		powW *= phraseHashBase
+	}
+	return &Prepass{
+		g:       g,
+		window:  cfg.Window,
+		minRun:  cfg.MinRun,
+		shift:   shift,
+		powW:    powW,
+		entries: make([]phraseEntry, cfg.CacheSize),
+		phrases: make([]uint64, cfg.CacheSize*cfg.Window),
+		runs:    make([]runEntry, runSlots),
+	}
+}
+
+// Reset clears the caches and counters. It must be called whenever the
+// underlying grammar is Reset: cached rule indices are only valid for the
+// grammar incarnation that minted them.
+func (p *Prepass) Reset() {
+	clear(p.entries)
+	clear(p.runs)
+	p.collapsed = 0
+	p.minted = 0
+	p.hits = 0
+	p.runRefs = 0
+}
+
+// Collapsed returns the cumulative number of input references emitted as
+// rule symbols — references that bypassed the per-symbol digram machinery.
+// Always <= the total references appended since the last Reset.
+func (p *Prepass) Collapsed() uint64 { return p.collapsed }
+
+// Minted returns the cumulative number of rules the front end has minted
+// (phrase rules plus run doubling levels) since the last Reset.
+func (p *Prepass) Minted() uint64 { return p.minted }
+
+// Hits returns the cumulative minted-phrase cache hits since the last Reset.
+func (p *Prepass) Hits() uint64 { return p.hits }
+
+// Append feeds a run of terminals through the front end and on into the
+// grammar. The front end is stateless across calls (phrase windows and runs
+// never straddle an Append boundary), so interleaving Append with the
+// grammar's own Append/AppendRun stays content-exact.
+func (p *Prepass) Append(vs []uint64) {
+	n := len(vs)
+	if n == 0 {
+		return
+	}
+	w := p.window
+	res := 0       // start of the pending residual span
+	noRunScan := 0 // positions below this are inside an already-measured short run
+	hashPos := -1  // position the rolling hash h corresponds to, -1 = stale
+	var h uint64
+
+	i := 0
+	for i < n {
+		// Run collapse: a cheap adjacency test first, the full count only
+		// when it fires. Short runs are remembered via noRunScan so the
+		// measured span is never recounted (keeps the scan linear).
+		if i >= noRunScan && i+1 < n && vs[i] == vs[i+1] {
+			k := 2
+			for i+k < n && vs[i+k] == vs[i] {
+				k++
+			}
+			if k >= p.minRun {
+				p.flush(vs[res:i])
+				p.emitRun(vs[i], k)
+				i += k
+				res = i
+				hashPos = -1
+				continue
+			}
+			noRunScan = i + k
+		}
+
+		// Phrase cache: only when a full window fits in this batch.
+		if i+w <= n {
+			if hashPos != i {
+				h = p.fullHash(vs[i:])
+				hashPos = i
+			}
+			slot := int((h * phraseSlotMix) >> p.shift)
+			e := &p.entries[slot]
+			stored := p.phrases[slot*w : slot*w+w]
+			if e.state != phraseEmpty && e.hash == h && equalWindow(stored, vs[i:i+w]) {
+				if e.state == phraseMinted {
+					p.flush(vs[res:i])
+					p.g.AppendRule(e.rule, uint64(w))
+					p.collapsed += uint64(w)
+					p.hits++
+				} else {
+					// Second sighting: mint a pinned rule for the phrase
+					// and emit this occurrence as the rule symbol. The
+					// first occurrence already went in as residual
+					// terminals; both expand to the same content.
+					p.flush(vs[res:i])
+					e.rule = p.g.mintPhrase(vs[i : i+w])
+					e.state = phraseMinted
+					p.minted++
+					p.g.AppendRule(e.rule, uint64(w))
+					p.collapsed += uint64(w)
+				}
+				i += w
+				res = i
+				hashPos = -1
+				continue
+			}
+			// Miss: install this window as the slot's candidate — unless the
+			// slot holds a minted rule. Minted entries are sticky until
+			// Reset: in a direct-mapped cache nearly every position is a
+			// miss, so letting one-off noise windows evict minted phrases
+			// would re-mint a hot phrase under a fresh rule id on every
+			// recurrence, splintering its heat across variant rules and
+			// hiding it from hot-stream analysis. A phrase that loses the
+			// slot race is simply never collapsed — its occurrences reach
+			// the digram machinery as residual, consistently.
+			if e.state != phraseMinted {
+				e.hash = h
+				e.rule = 0
+				e.state = phraseCandidate
+				copy(stored, vs[i:i+w])
+			}
+			// Roll the hash one position for the next iteration.
+			if i+w < n {
+				h = (h-vs[i]*p.powW)*phraseHashBase + vs[i+w]
+				hashPos = i + 1
+			} else {
+				hashPos = -1
+			}
+		}
+		i++
+	}
+	p.flush(vs[res:n])
+}
+
+// flush hands a residual span of novel symbols to the grammar's batch path.
+func (p *Prepass) flush(vs []uint64) {
+	if len(vs) > 0 {
+		p.g.AppendRun(vs)
+	}
+}
+
+// fullHash computes the polynomial hash of the window starting at vs[0].
+func (p *Prepass) fullHash(vs []uint64) uint64 {
+	var h uint64
+	for i := 0; i < p.window; i++ {
+		h = h*phraseHashBase + vs[i]
+	}
+	return h
+}
+
+func equalWindow(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// emitRun appends k copies of v (k >= minRun) as a greedy binary
+// decomposition over the symbol's doubling chain: the largest minted level
+// whose expansion fits is appended, repeatedly, with a single terminal
+// Append for an odd leftover — O(log k) grammar operations total.
+func (p *Prepass) emitRun(v uint64, k int) {
+	e := p.runSlot(v)
+	rem := k
+	for rem > 1 {
+		// Largest level j with 2^(j+1) <= rem.
+		j := 0
+		for rem>>(j+2) > 0 && j+1 < maxRunLevels {
+			j++
+		}
+		p.ensureLevels(e, v, j)
+		p.g.AppendRule(e.levels[j], 1<<(j+1))
+		rem -= 1 << (j + 1)
+	}
+	p.collapsed += uint64(k - rem)
+	p.runRefs += uint64(k)
+	if rem == 1 {
+		p.g.Append(v)
+	}
+}
+
+// runSlot returns the direct-mapped run-cache entry for v, evicting any
+// previous occupant (its doubling chain stays pinned in the grammar).
+func (p *Prepass) runSlot(v uint64) *runEntry {
+	slot := (v * phraseSlotMix) >> (64 - 6) // runSlots == 64
+	e := &p.runs[slot]
+	if !e.used || e.sym != v {
+		*e = runEntry{sym: v, used: true}
+	}
+	return e
+}
+
+// ensureLevels mints doubling levels for e.sym up through level j:
+// level 0 -> (v, v), level m -> (level m-1, level m-1).
+func (p *Prepass) ensureLevels(e *runEntry, v uint64, j int) {
+	for int(e.n) <= j {
+		var r uint32
+		if e.n == 0 {
+			pair := [2]uint64{v, v}
+			r = p.g.mintPhrase(pair[:])
+		} else {
+			r = p.g.mintPair(e.levels[e.n-1])
+		}
+		e.levels[e.n] = r
+		e.n++
+		p.minted++
+	}
+}
+
+// AppendRule appends a nonterminal referencing rule r to the end of the
+// input, where r's expansion has expLen terminals. It is the front end's
+// collapsed-emission primitive: structurally it is Append with a rule
+// symbol, so digram uniqueness is restored around the new tail and the
+// sequence of rule symbols itself compresses (a hot stream emitted as the
+// same phrase-rule sequence folds into higher-level rules exactly as its
+// raw terminals would have).
+//
+// r must be a live rule that the caller guarantees survives restructuring —
+// either pinned (minted by the Prepass) or known to be referenced elsewhere.
+func (g *Grammar) AppendRule(r uint32, expLen uint64) {
+	g.length += expLen
+	s := g.alloc(ruleID(r))
+	g.insertAfter(g.last(g.start), s)
+	if prev := g.sym(s).prev; !g.sym(prev).isGuard() {
+		g.check(prev)
+	}
+}
+
+// mintPhrase creates a pinned rule whose right-hand side is vs verbatim.
+// Internal digrams are deliberately not registered (see the package comment
+// on why that is safe), and the phantom count pins the rule for the
+// grammar's lifetime.
+func (g *Grammar) mintPhrase(vs []uint64) uint32 {
+	r := g.newRule()
+	for _, v := range vs {
+		s := g.alloc(termID(v))
+		g.insertAfter(g.last(r), s)
+	}
+	g.rules[r].count++ // phantom: the prepass cache's own reference
+	return r
+}
+
+// mintPair creates a pinned rule whose right-hand side is two references to
+// rule sub — one doubling level of a run chain.
+func (g *Grammar) mintPair(sub uint32) uint32 {
+	r := g.newRule()
+	s1 := g.alloc(ruleID(sub))
+	g.insertAfter(g.last(r), s1)
+	s2 := g.alloc(ruleID(sub))
+	g.insertAfter(g.last(r), s2)
+	g.rules[r].count++ // phantom: the prepass cache's own reference
+	return r
+}

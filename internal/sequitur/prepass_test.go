@@ -1,0 +1,262 @@
+package sequitur
+
+import (
+	"bytes"
+	"testing"
+)
+
+// prepassChunked splits data into run lengths derived from seed (1..64
+// values per run) and feeds them through a Prepass, exercising batch
+// boundaries everywhere in the input.
+func prepassChunked(p *Prepass, vals []uint64, seed uint64) {
+	for len(vals) > 0 {
+		n := int(seed&63) + 1
+		seed = seed>>3 | seed<<61
+		if n > len(vals) {
+			n = len(vals)
+		}
+		p.Append(vals[:n])
+		vals = vals[n:]
+	}
+}
+
+// requireSameExpansion asserts the content-lossless contract: the prepass
+// grammar's expansion must reproduce the input byte for byte, and its
+// length accounting must match.
+func requireSameExpansion(t *testing.T, g *Grammar, want []uint64) {
+	t.Helper()
+	if g.Len() != uint64(len(want)) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(want))
+	}
+	got := g.Snapshot().Expand(0)
+	if len(got) != len(want) {
+		t.Fatalf("expansion length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("expansion differs at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPrepassMatchesAppendExpansion pins the front end to the lossless path
+// on phrase-heavy, run-heavy, and adversarial inputs, whole and chunked.
+func TestPrepassMatchesAppendExpansion(t *testing.T) {
+	inputs := [][]byte{
+		[]byte(""),
+		[]byte("a"),
+		[]byte("abaabcabcabcabc"),
+		[]byte("aaaa"),
+		[]byte("aaaaaaaa"),
+		bytes.Repeat([]byte("a"), 257),
+		bytes.Repeat([]byte("abcdefgh"), 40),               // exact-window phrase
+		bytes.Repeat([]byte("abcdefghijkl"), 40),           // phrase + residual tail
+		bytes.Repeat([]byte("abcdefghijklmnopqrstuvx"), 9), // long stream, odd length
+		[]byte("abcdabcd_abcdabcd_abcdabcd_"),
+		append(bytes.Repeat([]byte("p"), 100), bytes.Repeat([]byte("qrstuvwx"), 20)...),
+		append(bytes.Repeat([]byte("abcdefgh"), 3), bytes.Repeat([]byte("h"), 50)...),
+	}
+	for _, data := range inputs {
+		vals := toVals(data)
+		g := New()
+		p := NewPrepass(g, PrepassConfig{})
+		p.Append(vals)
+		requireSameExpansion(t, g, vals)
+
+		g2 := New()
+		p2 := NewPrepass(g2, PrepassConfig{})
+		prepassChunked(p2, vals, 0x9e3779b97f4a7c15)
+		requireSameExpansion(t, g2, vals)
+	}
+}
+
+// TestPrepassRunCollapse checks that long runs are represented in O(log k)
+// grammar work and counted exactly.
+func TestPrepassRunCollapse(t *testing.T) {
+	const k = 1 << 15
+	vals := make([]uint64, k)
+	for i := range vals {
+		vals[i] = 42
+	}
+	g := New()
+	p := NewPrepass(g, PrepassConfig{})
+	p.Append(vals)
+	requireSameExpansion(t, g, vals)
+	if got := p.Collapsed(); got != k {
+		t.Errorf("Collapsed = %d, want %d (even run collapses fully)", got, k)
+	}
+	// A 2^15 run needs 14 doubling levels and one rule append; the whole
+	// grammar must stay tiny.
+	if g.Size() > 64 {
+		t.Errorf("grammar size %d for a %d-run, want O(log k)", g.Size(), k)
+	}
+	if p.Minted() == 0 {
+		t.Error("no doubling rules minted for a long run")
+	}
+
+	// Odd leftover goes through the terminal path.
+	g2 := New()
+	p2 := NewPrepass(g2, PrepassConfig{})
+	p2.Append(vals[:k-1])
+	vals2 := vals[:k-1]
+	requireSameExpansion(t, g2, vals2)
+	if got := p2.Collapsed(); got != k-2 {
+		t.Errorf("Collapsed = %d, want %d (odd run leaves one terminal)", got, k-2)
+	}
+}
+
+// TestPrepassPhraseCacheHits checks that a repeated phrase mints once and
+// then collapses every later occurrence.
+func TestPrepassPhraseCacheHits(t *testing.T) {
+	phrase := toVals([]byte("abcdefgh")) // exactly one default window
+	sep := toVals([]byte("zy"))
+	var vals []uint64
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		vals = append(vals, phrase...)
+		vals = append(vals, sep...)
+	}
+	g := New()
+	p := NewPrepass(g, PrepassConfig{})
+	p.Append(vals)
+	requireSameExpansion(t, g, vals)
+	if p.Hits() == 0 {
+		t.Fatal("no phrase-cache hits on a 50x-repeated phrase")
+	}
+	// Occurrence 1 is residual, occurrence 2 mints (collapsed, not a hit),
+	// occurrences 3..reps are hits.
+	if want := uint64(reps-2) * 8; p.Hits()*8 < want {
+		t.Errorf("hit refs = %d, want >= %d", p.Hits()*8, want)
+	}
+	if p.Collapsed() < (reps-1)*8 {
+		t.Errorf("Collapsed = %d, want >= %d", p.Collapsed(), (reps-1)*8)
+	}
+}
+
+// TestPrepassInterleavedWithAppend checks that mixing front-end batches with
+// direct grammar appends stays content-exact (the Profile does this when
+// single Add calls bypass the front end).
+func TestPrepassInterleavedWithAppend(t *testing.T) {
+	a := toVals(bytes.Repeat([]byte("abcdefgh"), 10))
+	b := toVals([]byte("xyz"))
+	g := New()
+	p := NewPrepass(g, PrepassConfig{})
+	var want []uint64
+	for i := 0; i < 5; i++ {
+		p.Append(a)
+		want = append(want, a...)
+		g.AppendRun(b)
+		want = append(want, b...)
+		for _, v := range b {
+			g.Append(v)
+			want = append(want, v)
+		}
+	}
+	requireSameExpansion(t, g, want)
+}
+
+// TestPrepassAfterReset checks that a recycled grammar+prepass pair accepts
+// input again: cached rule indices must not survive the reset.
+func TestPrepassAfterReset(t *testing.T) {
+	vals := toVals(bytes.Repeat([]byte("abcdefghaaaaaaaaaaaa"), 20))
+	g := New()
+	p := NewPrepass(g, PrepassConfig{})
+	p.Append(vals)
+	g.Reset()
+	p.Reset()
+	if p.Collapsed() != 0 || p.Minted() != 0 || p.Hits() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	p.Append(vals)
+	requireSameExpansion(t, g, vals)
+}
+
+// TestPrepassSteadyStateAllocs mirrors TestAppendRunSteadyStateAllocs: once
+// the caches, arena, and table are warm, fill/reset cycles through the
+// front end must not allocate.
+func TestPrepassSteadyStateAllocs(t *testing.T) {
+	vals := toVals(bytes.Repeat([]byte("abcabcabdabdzaaaaaaaaabcdefghabcdefgh"), 64))
+	g := New()
+	p := NewPrepass(g, PrepassConfig{})
+	p.Append(vals)
+	g.Reset()
+	p.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		p.Append(vals)
+		g.Reset()
+		p.Reset()
+	})
+	if allocs > 0 {
+		t.Errorf("fill/reset cycle via Prepass allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestPrepassSmallWindowConfig exercises non-default tuning, including the
+// clamped minimum window.
+func TestPrepassSmallWindowConfig(t *testing.T) {
+	vals := toVals(bytes.Repeat([]byte("abcd"), 30))
+	for _, cfg := range []PrepassConfig{
+		{Window: 2, MinRun: 2, CacheSize: 4},
+		{Window: 4, MinRun: 8, CacheSize: 16},
+		{Window: 1},                              // clamps to 2
+		{Window: 13, MinRun: 3, CacheSize: 1000}, // non-power-of-two cache rounds up
+	} {
+		g := New()
+		p := NewPrepass(g, cfg)
+		prepassChunked(p, vals, 7)
+		requireSameExpansion(t, g, vals)
+	}
+}
+
+// FuzzPrepassEquivalence is the differential gate for the two-level front
+// end: an arbitrary input split into arbitrary batches through the prepass
+// must expand to exactly the sequence a sequential Append loop would encode.
+// Grammars are not bit-identical (that is the point of the front end); the
+// contract is equivalence after expansion, which is what hot-stream
+// extraction consumes.
+func FuzzPrepassEquivalence(f *testing.F) {
+	f.Add([]byte("abaabcabcabcabc"), uint64(0))
+	f.Add([]byte("aaaaaaaaaaaa"), uint64(1))
+	f.Add([]byte(""), uint64(7))
+	f.Add(bytes.Repeat([]byte("abcdefgh"), 8), uint64(0x12345678))
+	f.Add(bytes.Repeat([]byte("abcdefghijkl"), 6), uint64(3))
+	f.Add(bytes.Repeat([]byte("a"), 257), uint64(0xffffffffffffffff))
+	f.Add(append(bytes.Repeat([]byte("x"), 40), bytes.Repeat([]byte("pqrstuvw"), 10)...), uint64(0x9e3779b97f4a7c15))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		vals := toVals(data)
+		seq := New()
+		seq.AppendAll(vals)
+
+		g := New()
+		// Small cache + window derived from the seed widens the state
+		// space: eviction, thrashing, and window/minRun edges all fuzz.
+		cfg := PrepassConfig{
+			Window:    2 + int(seed%12),
+			MinRun:    2 + int((seed>>8)%6),
+			CacheSize: 1 << (seed >> 16 % 8),
+		}
+		p := NewPrepass(g, cfg)
+		prepassChunked(p, vals, seed)
+
+		want := seq.Snapshot().Expand(0)
+		got := g.Snapshot().Expand(0)
+		if g.Len() != seq.Len() {
+			t.Fatalf("Len = %d, want %d", g.Len(), seq.Len())
+		}
+		if len(got) != len(want) {
+			t.Fatalf("expansion length %d, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("expansion differs at %d: %d != %d", i, got[i], want[i])
+			}
+		}
+		if p.Collapsed() > g.Len() {
+			t.Fatalf("Collapsed %d exceeds input length %d", p.Collapsed(), g.Len())
+		}
+	})
+}

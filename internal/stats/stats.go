@@ -206,6 +206,28 @@ func RenderSampling(title string, results []experiment.SamplingResult) string {
 	return b.String()
 }
 
+// RenderPrepass prints the two-level ingest front end's differential
+// comparison: collapse ratio, grammar overhead, and hot-stream agreement
+// against the lossless profile per workload.
+func RenderPrepass(results []experiment.PrepassResult) string {
+	var b strings.Builder
+	b.WriteString("Two-level ingest front end vs lossless profiling\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\trefs\tcollapse\tgrammar lossless/prepass\tstreams\ttop-10 recall\theat recall\tprecision")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%.1f%%\t%d/%d\t%d/%d\t%.2f\t%.2f\t%.2f\n",
+			r.Name, r.TotalRefs, 100*r.CollapseRatio,
+			r.LosslessSymbols, r.PrepassSymbols,
+			r.LosslessStreams, r.PrepassStreams,
+			r.TopRecall, r.HeatRecall, r.Precision)
+	}
+	w.Flush()
+	b.WriteString("(expansion verified byte-identical per workload before analysis; the\n")
+	b.WriteString(" collapse column is the fraction of references absorbed before the\n")
+	b.WriteString(" digram table)\n")
+	return b.String()
+}
+
 // RenderReuse prints the reuse-distance validation of the workload
 // substrate.
 func RenderReuse(results []experiment.ReuseResult) string {

@@ -21,9 +21,31 @@ import (
 
 var magic = [8]byte{'H', 'D', 'S', 'T', 'R', 'C', 1, 0}
 
+// byteWriter is the subset of bufio.Writer the encoder needs; a destination
+// that already buffers (bytes.Buffer, bufio.Writer) satisfies it directly,
+// sparing the per-call bufio.Writer allocation on pooled-buffer hot paths
+// like the capture client's publish loop.
+type byteWriter interface {
+	io.Writer
+	Flush() error
+}
+
+// passthroughWriter adapts an already-buffered io.Writer to byteWriter.
+type passthroughWriter struct{ io.Writer }
+
+func (passthroughWriter) Flush() error { return nil }
+
 // Write encodes refs to w.
 func Write(w io.Writer, refs []ref.Ref) error {
-	bw := bufio.NewWriter(w)
+	var bw byteWriter
+	switch dst := w.(type) {
+	case byteWriter:
+		bw = dst
+	case interface{ AvailableBuffer() []byte }: // bytes.Buffer: self-buffering
+		bw = passthroughWriter{w}
+	default:
+		bw = bufio.NewWriter(w)
+	}
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}

@@ -65,6 +65,8 @@ func (sp *ShardedProfile) WriteMetrics(w io.Writer) {
 	obs.WriteCounter(w, "hotprefetch_refs_sampled_out_total", "References skipped by sampling degradation.", st.Sampled)
 	obs.WriteCounter(w, "hotprefetch_burst_shed_total", "References shed by the bursty-sampling front end.", st.BurstShed)
 	obs.WriteCounter(w, "hotprefetch_refs_quota_shed_total", "References shed at the producer boundary by the reference quota.", st.QuotaShed)
+	obs.WriteCounter(w, "hotprefetch_prepass_collapsed_refs_total", "Consumed references absorbed by the two-level ingest front end.", st.Collapsed)
+	obs.WriteCounter(w, "hotprefetch_prepass_minted_rules_total", "Phrase and doubling rules minted by the ingest front end.", st.PrepassMinted)
 	if sp.cfg.Burst.Enabled {
 		bc := sp.cfg.Burst.controllerConfig()
 		obs.WriteGauge(w, "hotprefetch_burst_sampling_rate", "Configured awake-phase burst sampling rate.", bc.SamplingRate())
@@ -159,6 +161,8 @@ func (svc *Service) WriteMetrics(w io.Writer) {
 			func(st Stats, _ *Tenant) uint64 { return st.QuotaShed }},
 		{"hotprefetch_tenant_grammar_resets_total", "Grammar budget cycles across the tenant's shards.",
 			func(st Stats, _ *Tenant) uint64 { return st.Resets }},
+		{"hotprefetch_tenant_prepass_collapsed_refs_total", "Consumed references absorbed by the tenant's ingest front end.",
+			func(st Stats, _ *Tenant) uint64 { return st.Collapsed }},
 	}
 	stats := make([]Stats, len(tenants))
 	for i, t := range tenants {

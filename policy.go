@@ -159,6 +159,110 @@ func ParseBurstConfig(s string) (BurstConfig, error) {
 	return BurstConfig{Enabled: true, NCheck: vals[0], NInstr: vals[1], NAwake: vals[2], NHibernate: vals[3]}, nil
 }
 
+// PrepassMode selects whether shards run the two-level ingest front end
+// (sequitur.Prepass) ahead of grammar compression.
+type PrepassMode int
+
+const (
+	// PrepassAuto defers the decision to the embedding context: a plain
+	// ShardedProfile resolves Auto to Off, preserving the contract that a
+	// one-shard profile compresses bit-identically to a single Profile; the
+	// networked Service resolves Auto to On, since its hot-stream contract
+	// is equivalence-after-expansion, which the front end preserves.
+	PrepassAuto PrepassMode = iota
+
+	// PrepassOn runs every shard's consumer through the front end: immediate
+	// repeats collapse into O(log k) doubling rules and windows matching a
+	// recently minted phrase rule are emitted as that one rule symbol, so
+	// only residual novel symbols pay the digram-table epoch.
+	PrepassOn
+
+	// PrepassOff feeds batches straight to Grammar.AppendRun (the prior
+	// behavior; grammars are bit-identical to sequential Append).
+	PrepassOff
+)
+
+// String returns the mode name used by flags and stats output.
+func (m PrepassMode) String() string {
+	switch m {
+	case PrepassAuto:
+		return "auto"
+	case PrepassOn:
+		return "on"
+	case PrepassOff:
+		return "off"
+	default:
+		return fmt.Sprintf("PrepassMode(%d)", int(m))
+	}
+}
+
+// PrepassConfig configures the two-level ingest front end that shards run
+// ahead of Sequitur: a run-length collapser for immediate repeats plus a
+// direct-mapped recent-phrase cache that replays already-minted rules.
+// Grammars produced with the front end enabled are NOT bit-identical to the
+// lossless path — the contract is equivalence after expansion: Snapshot
+// expansion (and therefore every banked hot stream) reproduces the input
+// exactly. See DESIGN.md §12.
+type PrepassConfig struct {
+	// Mode selects off, on, or context-resolved auto. See PrepassMode.
+	Mode PrepassMode
+
+	// Window is the phrase-cache window length in references (0 means 8,
+	// clamped to at least 2). It must stay below the analysis MinLen so a
+	// lone phrase rule is never itself reported as a stream.
+	Window int
+
+	// MinRun is the shortest immediate-repeat run the collapser takes over
+	// (0 means 4, clamped to at least 2).
+	MinRun int
+
+	// CacheSize is the phrase-cache slot count, rounded up to a power of
+	// two (0 means 1024).
+	CacheSize int
+}
+
+// Validate reports whether the prepass configuration is well-formed. Zero
+// fields are valid — they mean "use the default".
+func (c PrepassConfig) Validate() error {
+	switch c.Mode {
+	case PrepassAuto, PrepassOn, PrepassOff:
+	default:
+		return fmt.Errorf("hotprefetch: unknown prepass mode %d", int(c.Mode))
+	}
+	if c.Window < 0 || c.MinRun < 0 || c.CacheSize < 0 {
+		return fmt.Errorf("hotprefetch: negative prepass parameter (window %d, minRun %d, cacheSize %d)",
+			c.Window, c.MinRun, c.CacheSize)
+	}
+	return nil
+}
+
+// ParsePrepassConfig converts a flag value to a PrepassConfig: "auto" (or
+// the empty string), "off", "on", or "on:window:minRun:cacheSize" (three
+// non-negative integers, zero meaning the default).
+func ParsePrepassConfig(s string) (PrepassConfig, error) {
+	switch s {
+	case "", "auto":
+		return PrepassConfig{Mode: PrepassAuto}, nil
+	case "off":
+		return PrepassConfig{Mode: PrepassOff}, nil
+	case "on":
+		return PrepassConfig{Mode: PrepassOn}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 || parts[0] != "on" {
+		return PrepassConfig{}, fmt.Errorf("hotprefetch: bad prepass config %q (want auto, off, on, or on:window:minRun:cacheSize)", s)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts[1:] {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return PrepassConfig{}, fmt.Errorf("hotprefetch: bad prepass parameter %q in %q", p, s)
+		}
+		vals[i] = v
+	}
+	return PrepassConfig{Mode: PrepassOn, Window: vals[0], MinRun: vals[1], CacheSize: vals[2]}, nil
+}
+
 // ErrClosed is returned by ProfileShard.Add and AddAll after the profile has
 // been closed. Previously a blocked Add would spin forever against stopped
 // consumers; now it fails fast.
@@ -277,6 +381,12 @@ type ShardedConfig struct {
 	// gets its own deterministic controller, advanced by its producer.
 	Burst BurstConfig
 
+	// Prepass configures the two-level ingest front end shard consumers run
+	// ahead of Sequitur; see PrepassConfig. The zero value (Mode
+	// PrepassAuto) resolves to Off for a plain ShardedProfile and to On
+	// inside the networked Service.
+	Prepass PrepassConfig
+
 	// RefQuota, when positive, caps the total references this profile will
 	// admit across all shards over its lifetime — the per-tenant budget the
 	// networked service enforces so one tenant's volume can never grow
@@ -364,6 +474,9 @@ func (c ShardedConfig) Validate() error {
 	}
 	if err := c.Burst.Validate(); err != nil {
 		return fmt.Errorf("Burst: %w", err)
+	}
+	if err := c.Prepass.Validate(); err != nil {
+		return fmt.Errorf("Prepass: %w", err)
 	}
 	if err := c.CycleAnalysis.Validate(); err != nil {
 		return fmt.Errorf("CycleAnalysis: %w", err)

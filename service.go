@@ -87,6 +87,14 @@ type ServiceConfig struct {
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
+	// The service resolves PrepassAuto to On: its hot-stream contract is
+	// equivalence-after-expansion (BankedStreams from grammar cycles), which
+	// the two-level ingest front end preserves, and the networked path is
+	// exactly where the per-reference compression cost compounds. Tenants
+	// that need bit-identical grammars set Mode to PrepassOff explicitly.
+	if c.Tenant.Prepass.Mode == PrepassAuto {
+		c.Tenant.Prepass.Mode = PrepassOn
+	}
 	if c.MaxTenants <= 0 {
 		c.MaxTenants = defaultMaxTenants
 	}

@@ -257,6 +257,15 @@ type ProfileShard struct {
 	maxSymbols int
 	cycleCfg   AnalysisConfig
 
+	// prepassOn mirrors the resolved ShardedConfig.Prepass mode for the
+	// consumer's fast path: when set, the shard's profiles run the two-level
+	// ingest front end and the consumer tracks collapse deltas. collapsed
+	// and minted accumulate across grammar cycles (the per-profile counters
+	// die with each cycle's Reset); both are consumer-written, Stats-read.
+	prepassOn bool
+	collapsed atomic.Uint64 // references absorbed by the front end
+	minted    atomic.Uint64 // phrase/run rules minted by the front end
+
 	// brk degrades this shard to ingest-and-recycle when its cycle-end
 	// analyses keep failing; analysesFailed/analysesSkipped account every
 	// cycle that did not complete an analysis, so resets ==
@@ -366,7 +375,7 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 	for i := range sp.shards {
 		s := &ProfileShard{
 			q:          ring.New[Ref](cfg.RingCap),
-			p:          NewProfile(),
+			p:          sp.newProfile(),
 			sp:         sp,
 			idx:        i,
 			inj:        cfg.Fault,
@@ -374,6 +383,7 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 			sampleN:    cfg.SampleInterval,
 			maxSymbols: cfg.MaxGrammarSymbols,
 			cycleCfg:   cfg.CycleAnalysis,
+			prepassOn:  cfg.Prepass.Mode == PrepassOn,
 			stop:       make(chan struct{}),
 			done:       make(chan struct{}),
 		}
@@ -402,11 +412,22 @@ func newShardedProfile(cfg ShardedConfig) *ShardedProfile {
 			// Pre-warm one spare so the first phase transition is a pure
 			// pointer swap.
 			s.spare = make(chan *Profile, 2)
-			s.spare <- NewProfile()
+			s.spare <- sp.newProfile()
 		}
 		sp.shards[i] = s
 	}
 	return sp
+}
+
+// newProfile builds one shard profile under the profile-wide prepass mode.
+// A plain ShardedProfile resolves PrepassAuto to Off, preserving the
+// contract that NumShards == 1 compresses bit-identically to a single
+// Profile; the networked Service resolves Auto to On before construction.
+func (sp *ShardedProfile) newProfile() *Profile {
+	if sp.cfg.Prepass.Mode == PrepassOn {
+		return NewPrepassProfile(sp.cfg.Prepass)
+	}
+	return NewProfile()
 }
 
 // analysisWorker drains the analysis queue: each job is one shard's full,
@@ -589,8 +610,13 @@ func (sp *ShardedProfile) drainAnalyses() error {
 // consume drains the shard's ring into its Profile until stopped.
 func (s *ProfileShard) consume() {
 	defer close(s.done)
+	prepass := "off"
+	if s.prepassOn {
+		prepass = "on"
+	}
 	pprof.Do(context.Background(),
-		pprof.Labels("hotprefetch_phase", "ingest", "hotprefetch_shard", strconv.Itoa(s.idx)),
+		pprof.Labels("hotprefetch_phase", "ingest", "hotprefetch_shard", strconv.Itoa(s.idx),
+			"hotprefetch_prepass", prepass),
 		func(context.Context) { s.consumeLoop() })
 }
 
@@ -624,16 +650,37 @@ func (s *ProfileShard) consumeLoop() {
 // cost.
 const compressLatencyMinBatch = 8
 
+// addChunk feeds one chunk into the shard's current profile. With the
+// prepass enabled it brackets the call with the profile's collapse counters
+// so the shard-level totals survive grammar cycles (each cycle's Reset
+// clears the per-profile counters).
+func (s *ProfileShard) addChunk(chunk []Ref) {
+	if !s.prepassOn {
+		s.p.AddBatch(chunk)
+		return
+	}
+	cb, mb := s.p.Collapsed(), s.p.MintedRules()
+	s.p.AddBatch(chunk)
+	s.collapsed.Add(s.p.Collapsed() - cb)
+	s.minted.Add(s.p.MintedRules() - mb)
+}
+
 func (s *ProfileShard) apply(refs []Ref) {
 	n := len(refs)
 	observe := n >= compressLatencyMinBatch
 	var start time.Time
+	var collapsedStart uint64
 	if observe {
 		start = time.Now()
+		if s.prepassOn {
+			// s.collapsed is consumer-written, so this pre/post read pair is
+			// exact for the batch even though Stats reads it concurrently.
+			collapsedStart = s.collapsed.Load()
+		}
 	}
 	peak := int(s.peakGrammar.Load())
 	if s.maxSymbols <= 0 {
-		s.p.AddBatch(refs)
+		s.addChunk(refs)
 		if sz := s.p.GrammarSize(); sz > peak {
 			peak = sz
 		}
@@ -647,6 +694,9 @@ func (s *ProfileShard) apply(refs []Ref) {
 		// of checking the ceiling per reference. Chunk boundaries depend
 		// only on how the grammar grows over the reference sequence, never
 		// on how the ring batched it, so cycle points stay deterministic.
+		// With the prepass enabled a reference can mint a phrase or doubling
+		// rule, growing the grammar by up to two net symbols, so the
+		// headroom is halved (never below one reference per chunk).
 		for len(refs) > 0 {
 			sz := s.p.GrammarSize()
 			if sz >= s.maxSymbols {
@@ -657,10 +707,15 @@ func (s *ProfileShard) apply(refs []Ref) {
 				sz = s.p.GrammarSize()
 			}
 			k := s.maxSymbols - sz
+			if s.prepassOn {
+				if k /= 2; k < 1 {
+					k = 1
+				}
+			}
 			if k > len(refs) {
 				k = len(refs)
 			}
-			s.p.AddBatch(refs[:k])
+			s.addChunk(refs[:k])
 			if sz := s.p.GrammarSize(); sz > peak {
 				peak = sz
 			}
@@ -672,6 +727,9 @@ func (s *ProfileShard) apply(refs []Ref) {
 	s.consumed.Add(uint64(n))
 	if observe {
 		s.sp.obs.CompressLatency.ObserveDuration(time.Since(start))
+		if s.prepassOn {
+			s.sp.obs.PrepassCollapse.Observe(1000 * (s.collapsed.Load() - collapsedStart) / uint64(n))
+		}
 	}
 }
 
@@ -699,7 +757,7 @@ func (s *ProfileShard) cycle() {
 		default:
 			// Both spares are still in the pool (analysis running behind);
 			// allocate rather than stall ingestion waiting for one.
-			next = NewProfile()
+			next = s.sp.newProfile()
 			s.spareMisses.Add(1)
 		}
 		s.p = next

@@ -33,6 +33,17 @@ type ShardStats struct {
 	BurstPhase string `json:"burst_phase,omitempty"`
 	QuotaShed  uint64 `json:"quota_shed"`
 
+	// Collapsed counts consumed references the two-level ingest front end
+	// (ShardedConfig.Prepass) absorbed without a digram-table epoch — run
+	// collapses plus phrase-rule replays. Unlike the shed counters it is
+	// consumer-side accounting over references already in Consumed (always
+	// Collapsed <= Consumed), so it does not enter the producer ledger.
+	// PrepassMinted counts the phrase and doubling rules the front end
+	// minted directly into shard grammars. Both are zero with the prepass
+	// off.
+	Collapsed     uint64 `json:"collapsed"`
+	PrepassMinted uint64 `json:"prepass_minted"`
+
 	// Resets counts grammar budget cycles (MaxGrammarSymbols); Retained is
 	// the number of hot streams currently banked by those cycles.
 	Resets   uint64 `json:"resets"`
@@ -88,13 +99,15 @@ type Stats struct {
 	Shards []ShardStats `json:"shards"`
 
 	// Totals across shards.
-	Pushed    uint64 `json:"pushed"`
-	Consumed  uint64 `json:"consumed"`
-	Dropped   uint64 `json:"dropped"`
-	Sampled   uint64 `json:"sampled"`
-	BurstShed uint64 `json:"burst_shed"`
-	QuotaShed uint64 `json:"quota_shed"`
-	Resets    uint64 `json:"resets"`
+	Pushed        uint64 `json:"pushed"`
+	Consumed      uint64 `json:"consumed"`
+	Dropped       uint64 `json:"dropped"`
+	Sampled       uint64 `json:"sampled"`
+	BurstShed     uint64 `json:"burst_shed"`
+	QuotaShed     uint64 `json:"quota_shed"`
+	Collapsed     uint64 `json:"collapsed"`
+	PrepassMinted uint64 `json:"prepass_minted"`
+	Resets        uint64 `json:"resets"`
 
 	// GrammarSize sums the live per-shard grammar sizes.
 	GrammarSize int `json:"grammar_size"`
@@ -138,6 +151,12 @@ type Stats struct {
 	// permille), all-zero unless ShardedConfig.Burst is enabled.
 	CompressLatency HistogramSnapshot `json:"compress_latency"`
 	BurstDuty       HistogramSnapshot `json:"burst_duty"`
+
+	// PrepassCollapse is the distribution of per-batch collapse ratios —
+	// references the ingest front end absorbed over references in the batch
+	// (raw unit permille, batches of 8+ references); all-zero unless
+	// ShardedConfig.Prepass is on.
+	PrepassCollapse HistogramSnapshot `json:"prepass_collapse"`
 
 	// MaxCycleStall is the worst per-shard ingest stall charged to a grammar
 	// cycle (max over shards of ShardStats.MaxCycleStall).
@@ -193,6 +212,7 @@ func (sp *ShardedProfile) Stats() Stats {
 		AccuracyWindows: sp.obs.AccuracyWindow.Snapshot(),
 		CompressLatency: sp.obs.CompressLatency.Snapshot(),
 		BurstDuty:       sp.obs.BurstDuty.Snapshot(),
+		PrepassCollapse: sp.obs.PrepassCollapse.Snapshot(),
 	}
 	if sp.analysisQ != nil {
 		st.AnalysisQueueDepth = len(sp.analysisQ)
@@ -222,6 +242,8 @@ func (sp *ShardedProfile) Stats() Stats {
 			AnalysesSkipped: skipped,
 			BurstShed:       s.burstShed.Load(),
 			QuotaShed:       s.quotaShed.Load(),
+			Collapsed:       s.collapsed.Load(),
+			PrepassMinted:   s.minted.Load(),
 		}
 		if s.burst != nil {
 			ss.BurstPhase = burst.Phase(s.burst.phase.Load()).String()
@@ -234,6 +256,8 @@ func (sp *ShardedProfile) Stats() Stats {
 		st.Sampled += ss.Sampled
 		st.BurstShed += ss.BurstShed
 		st.QuotaShed += ss.QuotaShed
+		st.Collapsed += ss.Collapsed
+		st.PrepassMinted += ss.PrepassMinted
 		st.Resets += ss.Resets
 		st.GrammarSize += ss.GrammarSize
 		st.AnalysesFailed += ss.AnalysesFailed
