@@ -16,6 +16,7 @@ package client
 import (
 	"bytes"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"os"
@@ -33,6 +34,9 @@ const (
 	defaultFlushInterval = 10 * time.Second
 	defaultMaxPending    = 4
 	defaultTimeout       = 10 * time.Second
+	defaultMaxAttempts   = 3
+	defaultRetryBackoff  = 50 * time.Millisecond
+	maxRetryBackoff      = 2 * time.Second
 )
 
 // Config configures a Capture.
@@ -65,6 +69,19 @@ type Config struct {
 	// Stats().Dropped — instead of blocking the application.
 	MaxPending int
 
+	// MaxAttempts bounds how many times one batch is tried before its
+	// references are counted Dropped — transient failures (transport errors
+	// and 5xx responses) are retried up to this total, while permanent
+	// rejections (4xx) and encode failures never are (0 means 3; 1 disables
+	// retry entirely).
+	MaxAttempts int
+
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it, jitters the wait to break fleet-wide
+	// synchronization, and caps it at 2s (0 means 50ms; negative retries
+	// immediately with no delay).
+	RetryBackoff time.Duration
+
 	// HTTPClient overrides the HTTP client used for publishes (nil means a
 	// client with a 10s timeout).
 	HTTPClient *http.Client
@@ -83,6 +100,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPending <= 0 {
 		c.MaxPending = defaultMaxPending
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = defaultMaxAttempts
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = defaultRetryBackoff
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{Timeout: defaultTimeout}
@@ -110,7 +133,9 @@ type Stats struct {
 	Published uint64 // references successfully published
 	Dropped   uint64 // references dropped (publisher backlogged or closed)
 	Publishes uint64 // successful publish requests
-	Errors    uint64 // failed publish requests (their refs count as Dropped)
+	Errors    uint64 // batches that exhausted every attempt (their refs count as Dropped)
+	Retried   uint64 // batches that succeeded only after at least one retry
+	Retries   uint64 // retry attempts (publish attempts beyond each batch's first)
 }
 
 // Capture buffers data references and publishes them to the profiling
@@ -152,6 +177,8 @@ type Capture struct {
 	dropped   atomic.Uint64
 	publishes atomic.Uint64
 	errors    atomic.Uint64
+	retried   atomic.Uint64
+	retries   atomic.Uint64
 }
 
 // New returns a running Capture publishing to cfg.Server under cfg.Tenant.
@@ -318,6 +345,8 @@ func (c *Capture) Stats() Stats {
 		Dropped:   c.dropped.Load(),
 		Publishes: c.publishes.Load(),
 		Errors:    c.errors.Load(),
+		Retried:   c.retried.Load(),
+		Retries:   c.retries.Load(),
 	}
 }
 
@@ -390,24 +419,70 @@ func (*encodeBuffer) Close() error { return nil }
 
 var octetStream = []string{"application/octet-stream"}
 
-// publish frames one batch and POSTs it to the ingest endpoint. The encode
-// buffer is pooled: after the transport has consumed the request body the
-// buffer's capacity is reused by the next publish, so a warm capture frames
-// batches without allocating the body again. The request is built by hand
-// from the pre-parsed URL (http.Client.Post would re-parse it per call);
-// GetBody is deliberately absent — the ingest endpoint never redirects, and
-// a replayed body would outlive the pooled buffer.
+// publish delivers one batch, retrying transient failures — transport
+// errors and 5xx responses — with jittered exponential backoff up to
+// cfg.MaxAttempts total tries. Permanent rejections (4xx) and encode
+// failures fail immediately. The books settle exactly once per batch:
+// success counts it Published (and Retried if any attempt failed first);
+// exhausting the budget counts one error and the whole batch Dropped,
+// exactly as an unretried failure would.
 func (c *Capture) publish(batch []ref.Ref) error {
 	defer c.recycleBatch(batch)
+	var err error
+	for attempt := 0; ; attempt++ {
+		var retryable bool
+		retryable, err = c.tryPublish(batch)
+		if err == nil {
+			if attempt > 0 {
+				c.retried.Add(1)
+			}
+			c.published.Add(uint64(len(batch)))
+			c.publishes.Add(1)
+			return nil
+		}
+		if !retryable || attempt+1 >= c.cfg.MaxAttempts {
+			break
+		}
+		c.retries.Add(1)
+		backoffSleep(c.cfg.RetryBackoff, attempt)
+	}
+	c.errors.Add(1)
+	c.dropped.Add(uint64(len(batch)))
+	return err
+}
+
+// backoffSleep waits the attempt's share of the exponential schedule:
+// base<<attempt, halved and jittered so a fleet of captures retrying the
+// same hiccup doesn't re-synchronize, capped at maxRetryBackoff.
+func backoffSleep(base time.Duration, attempt int) {
+	if base <= 0 {
+		return
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	time.Sleep(d/2 + rand.N(d/2+1))
+}
+
+// tryPublish frames the batch and POSTs it to the ingest endpoint once,
+// reporting whether a failure is worth retrying. The encode buffer is
+// pooled: after the transport has consumed the request body the buffer's
+// capacity is reused by the next attempt, so a warm capture frames batches
+// without allocating the body again. The request is built by hand from the
+// pre-parsed URL (http.Client.Post would re-parse it per call); GetBody is
+// deliberately absent — the ingest endpoint never redirects, a retry
+// re-frames into a fresh pooled buffer, and a transport-level replay would
+// outlive the pooled buffer.
+func (c *Capture) tryPublish(batch []ref.Ref) (retryable bool, err error) {
 	body, _ := c.bodyPool.Get().(*encodeBuffer)
 	if body == nil {
 		body = new(encodeBuffer)
 	}
 	body.Reset()
 	if err := tracefile.Write(&body.Buffer, batch); err != nil {
-		c.errors.Add(1)
-		c.dropped.Add(uint64(len(batch)))
-		return fmt.Errorf("client: encode: %w", err)
+		c.bodyPool.Put(body)
+		return false, fmt.Errorf("client: encode: %w", err)
 	}
 	u := *c.url // per-request copy; concurrent publishes must not share one URL
 	req := &http.Request{
@@ -422,20 +497,14 @@ func (c *Capture) publish(batch []ref.Ref) error {
 	if err != nil {
 		// An aborted round trip may leave the transport still draining the
 		// body; let this buffer go to the collector instead of the pool.
-		c.errors.Add(1)
-		c.dropped.Add(uint64(len(batch)))
-		return fmt.Errorf("client: publish: %w", err)
+		return true, fmt.Errorf("client: publish: %w", err)
 	}
 	defer c.bodyPool.Put(body)
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		c.errors.Add(1)
-		c.dropped.Add(uint64(len(batch)))
 		var msg [256]byte
 		n, _ := resp.Body.Read(msg[:])
-		return fmt.Errorf("client: publish: server returned %s: %s", resp.Status, msg[:n])
+		return resp.StatusCode >= 500, fmt.Errorf("client: publish: server returned %s: %s", resp.Status, msg[:n])
 	}
-	c.published.Add(uint64(len(batch)))
-	c.publishes.Add(1)
-	return nil
+	return false, nil
 }

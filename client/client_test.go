@@ -1,10 +1,12 @@
 package client_test
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -183,7 +185,8 @@ func TestCaptureServerErrors(t *testing.T) {
 	cc, err := client.New(client.Config{
 		Server: bad.URL, Tenant: "app-5",
 		BufferRefs: 4, FlushInterval: -1, MaxPending: 64,
-		OnError: func(err error) { mu.Lock(); seen = append(seen, err); mu.Unlock() },
+		RetryBackoff: -1, // 503 is retryable; don't sleep between attempts
+		OnError:      func(err error) { mu.Lock(); seen = append(seen, err); mu.Unlock() },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -198,10 +201,83 @@ func TestCaptureServerErrors(t *testing.T) {
 	if st.Errors == 0 || st.Dropped != 16 || st.Published != 0 {
 		t.Fatalf("error books: %+v, want every ref dropped via failed publishes", st)
 	}
+	if st.Retries == 0 || st.Retried != 0 {
+		t.Fatalf("retry books: %+v, want retries attempted but none succeeding", st)
+	}
 	mu.Lock()
 	defer mu.Unlock()
 	if len(seen) == 0 || !strings.Contains(seen[0].Error(), "quota exhausted") {
 		t.Fatalf("OnError calls: %v", seen)
+	}
+}
+
+// TestCaptureRetriesFlakyServer: transient 5xx and transport hiccups are
+// retried with backoff inside the attempt budget, so a flaky server costs
+// latency, not data — the batch is Published, not Dropped, and the books
+// record exactly the retries that happened.
+func TestCaptureRetriesFlakyServer(t *testing.T) {
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 { // first two attempts fail transiently
+			http.Error(w, "shard swap in progress", http.StatusServiceUnavailable)
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer flaky.Close()
+	cc, err := client.New(client.Config{
+		Server: flaky.URL, Tenant: "app-8",
+		BufferRefs: 64, FlushInterval: -1,
+		RetryBackoff: time.Millisecond, // exercise the backoff sleep, quickly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		cc.Add(1, uint64(i))
+	}
+	if err := cc.Flush(); err != nil {
+		t.Fatalf("Flush should survive two transient failures: %v", err)
+	}
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := cc.Stats()
+	if st.Published != 10 || st.Dropped != 0 || st.Errors != 0 {
+		t.Fatalf("flaky books: %+v, want all 10 published", st)
+	}
+	if st.Retries != 2 || st.Retried != 1 {
+		t.Fatalf("retry books: %+v, want 2 retries rescuing 1 batch", st)
+	}
+}
+
+// TestCaptureNoRetryOnRejection: a 4xx is the server's final answer — the
+// client must not hammer it with the same bad request again.
+func TestCaptureNoRetryOnRejection(t *testing.T) {
+	var calls atomic.Int64
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "unknown tenant", http.StatusBadRequest)
+	}))
+	defer reject.Close()
+	cc, err := client.New(client.Config{
+		Server: reject.URL, Tenant: "app-9",
+		BufferRefs: 64, FlushInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Add(1, 1)
+	if err := cc.Flush(); err == nil {
+		t.Fatal("Flush succeeded against a rejecting server")
+	}
+	cc.Close()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("client sent %d requests for a permanent rejection, want 1", got)
+	}
+	if st := cc.Stats(); st.Retries != 0 || st.Dropped != 1 {
+		t.Fatalf("rejection books: %+v, want no retries, 1 dropped", st)
 	}
 }
 

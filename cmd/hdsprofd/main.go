@@ -68,6 +68,8 @@ func run(args []string, out io.Writer, ready chan<- net.Addr) error {
 	tenants := fs.Int("tenants", 0, "max registered tenants before LRU eviction (0 = 64)")
 	maxBody := fs.Int64("maxbody", 0, "max publish body bytes (0 = 32 MiB)")
 	metricsTenants := fs.Int("metricstenants", 0, "tenant label cardinality bound for /metrics (0 = 16)")
+	snapshotDir := fs.String("snapshot-dir", "", "directory for durable per-tenant snapshots (empty = disabled); tenants warm-start from it at boot")
+	snapshotInterval := fs.Duration("snapshot-interval", time.Minute, "periodic checkpoint cadence when -snapshot-dir is set (<= 0 disables the loop)")
 	drainTimeout := fs.Duration("draintimeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,12 +93,22 @@ func run(args []string, out io.Writer, ready chan<- net.Addr) error {
 			Burst:             burstCfg,
 			RefQuota:          *quota,
 		},
-		MaxTenants:     *tenants,
-		MaxBodyBytes:   *maxBody,
-		MetricsTenants: *metricsTenants,
+		MaxTenants:       *tenants,
+		MaxBodyBytes:     *maxBody,
+		MetricsTenants:   *metricsTenants,
+		SnapshotDir:      *snapshotDir,
+		SnapshotInterval: *snapshotInterval,
 	})
 	if err != nil {
 		return err
+	}
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			svc.Close()
+			return fmt.Errorf("snapshot dir: %w", err)
+		}
+		loaded, failed := svc.LoadSnapshots()
+		log.Printf("warm start from %s: %d tenants restored, %d snapshots failed to load", *snapshotDir, loaded, failed)
 	}
 
 	mux := http.NewServeMux()
@@ -149,6 +161,18 @@ func run(args []string, out io.Writer, ready chan<- net.Addr) error {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)
 	}
+	// Final checkpoint after the publish fence and before Close empties the
+	// registry: every tenant's banked streams land durably, so the next boot
+	// warm-starts from exactly what this run learned. A newer-generation
+	// file (another instance took over the directory) is refused per tenant,
+	// never clobbered.
+	if *snapshotDir != "" {
+		if n, err := svc.CheckpointAll(); err != nil {
+			log.Printf("final checkpoint: %d written, %v", n, err)
+		} else {
+			log.Printf("final checkpoint: %d tenants written to %s", n, *snapshotDir)
+		}
+	}
 	// Snapshot before Close empties the registry; the producer-side counters
 	// the report prints are final because Shutdown fenced off new publishes.
 	st := svc.Stats()
@@ -156,6 +180,10 @@ func run(args []string, out io.Writer, ready chan<- net.Addr) error {
 	fmt.Fprintf(out, "tenants      %d (evictions %d)\n", st.TenantCount, st.Evictions)
 	fmt.Fprintf(out, "publishes    %d (%d refs; %d decode errors, %d rejected)\n",
 		st.Publishes, st.PublishedRefs, st.DecodeErrors, st.Rejected)
+	if *snapshotDir != "" {
+		fmt.Fprintf(out, "snapshots    loads=%d loadfailures=%d writes=%d writeerrors=%d refused=%d\n",
+			st.SnapshotLoads, st.SnapshotLoadFailures, st.SnapshotWrites, st.SnapshotWriteErrors, st.SnapshotRefused)
+	}
 	for _, t := range st.Tenants {
 		p := t.Profile
 		fmt.Fprintf(out, "tenant %-20s refs=%d pushed=%d dropped=%d sampled=%d burst=%d quota=%d resets=%d\n",

@@ -16,8 +16,20 @@ import (
 
 	"hotprefetch/client"
 	"hotprefetch/internal/ref"
+	"hotprefetch/internal/snapshot"
 	"hotprefetch/internal/tracefile"
 )
+
+// craftGenerationFile encodes a minimal valid snapshot at the given
+// generation, standing in for a file another daemon instance owns.
+func craftGenerationFile(t *testing.T, gen uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, &snapshot.Profile{Generation: gen, CreatedAt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
 
 // TestDaemonSmoke boots the daemon in-process on an ephemeral port, drives
 // synthetic clients at it through the client library, checks the HTTP API
@@ -160,4 +172,146 @@ func writeSmokeTrace(w io.Writer, n int) error {
 		refs[i] = ref.Ref{PC: i % 11, Addr: uint64(0x2000 + 16*i)}
 	}
 	return tracefile.Write(w, refs)
+}
+
+// writeCyclicTrace frames reps repetitions of one 12-reference hot stream,
+// regular enough that a small grammar budget banks it as a hot stream.
+func writeCyclicTrace(w io.Writer, reps int) error {
+	var refs []ref.Ref
+	for r := 0; r < reps; r++ {
+		for i := 0; i < 12; i++ {
+			refs = append(refs, ref.Ref{PC: 100 + i, Addr: uint64(0x4000 + 8*i)})
+		}
+		refs = append(refs, ref.Ref{PC: 999, Addr: uint64(0xbeef0000 + 64*r)})
+	}
+	return tracefile.Write(w, refs)
+}
+
+// bootDaemon starts run() with the given extra flags and waits for ready.
+func bootDaemon(t *testing.T, out *bytes.Buffer, extra ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	args := append([]string{"-listen", "127.0.0.1:0", "-shards", "1", "-membudget", "256", "-draintimeout", "5s"}, extra...)
+	go func() { runErr <- run(args, out, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), runErr
+	case err := <-runErr:
+		t.Fatalf("daemon died before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+// drainDaemon delivers SIGINT and waits for run to return cleanly.
+func drainDaemon(t *testing.T, runErr chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGINT", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s of SIGINT")
+	}
+}
+
+// hotStreamCount reads the tenant's banked hot-stream count over the API.
+func hotStreamCount(t *testing.T, base, tenant string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/hotstreams?tenant=" + tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET /hotstreams: %s: %s", resp.Status, body)
+	}
+	var hs struct {
+		Streams []json.RawMessage `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		t.Fatal(err)
+	}
+	return len(hs.Streams)
+}
+
+// TestDaemonSnapshotLifecycle is the daemon-level warm-start regression:
+// run A banks hot streams and its graceful drain writes a final per-tenant
+// checkpoint; run B over the same -snapshot-dir boots with the tenant
+// already warm (banked streams served before any ingest); and a
+// newer-generation file swapped in behind run B's back is refused — counted
+// in the report, never clobbered.
+func TestDaemonSnapshotLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	snapFlags := []string{"-snapshot-dir", dir, "-snapshot-interval", "-1s"}
+
+	// Run A: ingest until the tenant banks hot streams, then drain.
+	var outA bytes.Buffer
+	base, runErr := bootDaemon(t, &outA, snapFlags...)
+	var banked int
+	for attempt := 0; attempt < 50 && banked == 0; attempt++ {
+		var raw bytes.Buffer
+		if err := writeCyclicTrace(&raw, 200); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/ingest?tenant=persist&stream=1", "application/octet-stream", &raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: %s", resp.Status)
+		}
+		banked = hotStreamCount(t, base, "persist")
+	}
+	if banked == 0 {
+		t.Fatal("tenant banked no hot streams to persist")
+	}
+	drainDaemon(t, runErr)
+	if !strings.Contains(outA.String(), "snapshots    loads=0 loadfailures=0 writes=1") {
+		t.Fatalf("run A report missing final checkpoint:\n%s", outA.String())
+	}
+	if _, err := os.Stat(dir + "/persist.snap"); err != nil {
+		t.Fatalf("final checkpoint file missing: %v", err)
+	}
+
+	// Run B: warm start — the tenant serves its banked streams with zero
+	// ingest this run.
+	var outB bytes.Buffer
+	base, runErr = bootDaemon(t, &outB, snapFlags...)
+	if got := hotStreamCount(t, base, "persist"); got != banked {
+		t.Fatalf("warm-started tenant serves %d streams, want %d", got, banked)
+	}
+	resp, err := http.Get(base + "/snapshot?tenant=persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(snapBody) == 0 {
+		t.Fatalf("GET /snapshot: %s (%d bytes)", resp.Status, len(snapBody))
+	}
+
+	// Swap in a newer-generation file behind run B's back; the drain
+	// checkpoint must refuse it and leave it byte-identical.
+	newer := craftGenerationFile(t, 99)
+	if err := os.WriteFile(dir+"/persist.snap", newer, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drainDaemon(t, runErr)
+	if !strings.Contains(outB.String(), "loads=1") || !strings.Contains(outB.String(), "refused=1") {
+		t.Fatalf("run B report missing warm load or refusal:\n%s", outB.String())
+	}
+	after, err := os.ReadFile(dir + "/persist.snap")
+	if err != nil || !bytes.Equal(after, newer) {
+		t.Fatalf("refused checkpoint modified the newer-generation file (err %v)", err)
+	}
 }

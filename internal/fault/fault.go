@@ -67,6 +67,7 @@ const (
 	saltDelay
 	saltRing
 	saltStale
+	saltCorrupt
 )
 
 // SeededConfig configures a Seeded injector. Rates are probabilities in
@@ -175,3 +176,49 @@ func (h *Hooks) RingFull(shard int) bool {
 func (h *Hooks) MatcherStale() bool {
 	return h.MatcherStaleFn != nil && h.MatcherStaleFn()
 }
+
+// Corruptor deterministically corrupts byte buffers for durable-state chaos
+// tests: each call draws the next value of a seed-keyed splitmix64 sequence
+// to pick an offset and a bit (or a truncation point), so a chaos matrix's
+// corruption schedule reproduces run to run exactly like the Seeded
+// injector's fault schedule.
+type Corruptor struct {
+	seed  uint64
+	seq   atomic.Uint64
+	flips atomic.Uint64
+}
+
+// NewCorruptor returns a deterministic corruptor for the seed.
+func NewCorruptor(seed uint64) *Corruptor { return &Corruptor{seed: seed} }
+
+// next returns the sequence's next raw draw, keyed like draw's per-point
+// sequences (the salt product wraps, hence the non-constant operand).
+func (c *Corruptor) next() uint64 {
+	salt := uint64(saltCorrupt)
+	return splitmix64(c.seed ^ salt*0x9e3779b97f4a7c15 ^ c.seq.Add(1))
+}
+
+// FlipBit flips one schedule-determined bit of buf in place and returns the
+// byte offset it touched, or -1 for an empty buffer.
+func (c *Corruptor) FlipBit(buf []byte) int {
+	if len(buf) == 0 {
+		return -1
+	}
+	r := c.next()
+	off := int(r % uint64(len(buf)))
+	buf[off] ^= 1 << ((r >> 32) % 8)
+	c.flips.Add(1)
+	return off
+}
+
+// Truncate returns a schedule-determined strict prefix of buf (possibly
+// empty; always shorter than buf when buf is non-empty).
+func (c *Corruptor) Truncate(buf []byte) []byte {
+	if len(buf) == 0 {
+		return buf
+	}
+	return buf[:int(c.next()%uint64(len(buf)))]
+}
+
+// Flips returns the number of bits flipped so far.
+func (c *Corruptor) Flips() uint64 { return c.flips.Load() }

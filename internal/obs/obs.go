@@ -76,6 +76,20 @@ const (
 	KindBurstAwake
 	KindBurstHibernate
 
+	// KindSnapshotWritten marks a durable snapshot encode completing (Value
+	// is the stream count written). KindSnapshotRestored marks a warm start
+	// from a snapshot (Value is the stream count restored).
+	// KindSnapshotLoadFailed marks a snapshot load rejected by the format
+	// validator — corruption, truncation, or version skew — and the profile
+	// degrading to cold profiling. KindSnapshotStaleRejected marks a
+	// restored profile demoted by the supervisor as stale: bad accuracy
+	// windows or workload drift (Value is the bad-window run or 0 for
+	// drift).
+	KindSnapshotWritten
+	KindSnapshotRestored
+	KindSnapshotLoadFailed
+	KindSnapshotStaleRejected
+
 	kindCount // sentinel; keep last
 )
 
@@ -113,6 +127,14 @@ func (k Kind) String() string {
 		return "burst_awake"
 	case KindBurstHibernate:
 		return "burst_hibernate"
+	case KindSnapshotWritten:
+		return "snapshot_written"
+	case KindSnapshotRestored:
+		return "snapshot_restored"
+	case KindSnapshotLoadFailed:
+		return "snapshot_load_failed"
+	case KindSnapshotStaleRejected:
+		return "snapshot_stale_rejected"
 	default:
 		return "unknown"
 	}

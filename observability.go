@@ -51,6 +51,11 @@ const (
 	EventMatcherSwap      = obs.KindMatcherSwap
 	EventBurstAwake       = obs.KindBurstAwake
 	EventBurstHibernate   = obs.KindBurstHibernate
+
+	EventSnapshotWritten       = obs.KindSnapshotWritten
+	EventSnapshotRestored      = obs.KindSnapshotRestored
+	EventSnapshotLoadFailed    = obs.KindSnapshotLoadFailed
+	EventSnapshotStaleRejected = obs.KindSnapshotStaleRejected
 )
 
 // WriteMetrics writes the profile's metrics in Prometheus text exposition
@@ -80,6 +85,11 @@ func (sp *ShardedProfile) WriteMetrics(w io.Writer) {
 	obs.WriteCounter(w, "hotprefetch_flush_stalls_total", "Lossy HotStreams calls that returned a partial merge.", st.FlushStalls)
 	obs.WriteGauge(w, "hotprefetch_grammar_symbols", "Live grammar size summed across shards.", float64(st.GrammarSize))
 	obs.WriteGauge(w, "hotprefetch_analysis_queue_depth", "Full grammars waiting for a background analysis worker.", float64(st.AnalysisQueueDepth))
+	obs.WriteCounter(w, "hotprefetch_snapshot_writes_total", "Durable snapshots encoded.", st.SnapshotWrites)
+	obs.WriteCounter(w, "hotprefetch_snapshot_restores_total", "Snapshots restored for warm start.", st.SnapshotRestores)
+	obs.WriteCounter(w, "hotprefetch_snapshot_load_failures_total", "Snapshot loads rejected by the format validator.", st.SnapshotLoadFailures)
+	obs.WriteCounter(w, "hotprefetch_snapshot_stale_rejected_total", "Restored snapshots demoted as stale by the supervisor.", st.SnapshotStaleRejected)
+	obs.WriteGauge(w, "hotprefetch_restored_streams", "Warm-start streams currently merged into the banked set.", float64(st.RestoredStreams))
 	obs.WriteCounter(w, "hotprefetch_matcher_observations_total", "References observed by the attached matcher.", st.MatcherObservations)
 	obs.WriteCounter(w, "hotprefetch_matcher_swaps_total", "Matcher retraining swaps published.", st.MatcherSwaps)
 	if sup := st.Supervisor; sup != nil {
@@ -130,6 +140,11 @@ func (svc *Service) WriteMetrics(w io.Writer) {
 	obs.WriteCounter(w, "hotprefetch_service_published_refs_total", "References accepted from publish bodies.", svc.publishedRefs.Load())
 	obs.WriteCounter(w, "hotprefetch_service_decode_errors_total", "Publish bodies rejected by the wire-format decoder.", svc.decodeErrors.Load())
 	obs.WriteCounter(w, "hotprefetch_service_rejected_total", "Publish requests rejected before decoding (bad tenant key).", svc.rejected.Load())
+	obs.WriteCounter(w, "hotprefetch_service_snapshot_loads_total", "Tenant snapshots restored for warm start.", svc.snapLoads.Load())
+	obs.WriteCounter(w, "hotprefetch_service_snapshot_load_failures_total", "Tenant snapshot loads rejected by the format validator.", svc.snapLoadFails.Load())
+	obs.WriteCounter(w, "hotprefetch_service_snapshot_writes_total", "Tenant checkpoints written.", svc.snapWrites.Load())
+	obs.WriteCounter(w, "hotprefetch_service_snapshot_write_errors_total", "Tenant checkpoints that failed to write.", svc.snapWriteErrs.Load())
+	obs.WriteCounter(w, "hotprefetch_service_snapshot_refused_total", "Checkpoints refused over a newer-generation file.", svc.snapRefused.Load())
 
 	tenants := svc.snapshotTenants()
 	// Busiest tenants first; the tail shares the _other aggregate.
@@ -163,6 +178,10 @@ func (svc *Service) WriteMetrics(w io.Writer) {
 			func(st Stats, _ *Tenant) uint64 { return st.Resets }},
 		{"hotprefetch_tenant_prepass_collapsed_refs_total", "Consumed references absorbed by the tenant's ingest front end.",
 			func(st Stats, _ *Tenant) uint64 { return st.Collapsed }},
+		{"hotprefetch_tenant_snapshot_load_failures_total", "Snapshot loads into this tenant rejected by the format validator.",
+			func(st Stats, _ *Tenant) uint64 { return st.SnapshotLoadFailures }},
+		{"hotprefetch_tenant_snapshot_stale_rejected_total", "Restored snapshots demoted as stale by this tenant's supervisor.",
+			func(st Stats, _ *Tenant) uint64 { return st.SnapshotStaleRejected }},
 	}
 	stats := make([]Stats, len(tenants))
 	for i, t := range tenants {

@@ -1,0 +1,186 @@
+package hotprefetch
+
+import (
+	"io"
+	"time"
+
+	"hotprefetch/internal/obs"
+	"hotprefetch/internal/ref"
+	"hotprefetch/internal/snapshot"
+)
+
+// RestoreInfo describes a successfully restored snapshot: what the warm
+// start is now working from.
+type RestoreInfo struct {
+	// Generation is the snapshot's generation counter — monotonically
+	// increasing across checkpoints of the same profile, used by writers to
+	// refuse overwriting a newer file.
+	Generation uint64
+
+	// CreatedAt is when the snapshot was encoded.
+	CreatedAt time.Time
+
+	// Streams and Refs are the restored hot-stream count and their total
+	// reference count.
+	Streams int
+	Refs    int
+
+	// BaselineValid reports whether the snapshot carried supervisor
+	// accuracy counters; BaselineAccuracy is their hits/issued ratio — the
+	// accuracy the previous run achieved, which a warm-started supervisor
+	// uses as its provisional starting point.
+	BaselineValid    bool
+	BaselineAccuracy float64
+}
+
+// WriteSnapshot encodes the profile's durable state — the banked hot-stream
+// set (restored streams included, so checkpoints survive generations of
+// restarts) and the attached matcher's accuracy baseline — to w in the
+// internal/snapshot format under the given generation counter.
+//
+// Like BankedStreams, the encode is safe while producers and consumers are
+// running: it reads each shard's retained set under its lock and never
+// touches the live grammars, so periodic checkpointing does not stall
+// ingestion. Cycles whose background analysis has not landed are simply not
+// in the snapshot; the next checkpoint picks them up.
+func (sp *ShardedProfile) WriteSnapshot(w io.Writer, generation uint64) error {
+	streams := sp.BankedStreams(0)
+	p := &snapshot.Profile{
+		Generation: generation,
+		CreatedAt:  time.Now().UnixNano(),
+		Streams:    make([]snapshot.Stream, len(streams)),
+	}
+	for i, st := range streams {
+		refs := make([]ref.Ref, len(st.Refs))
+		for j, r := range st.Refs {
+			refs[j] = ref.Ref{PC: r.PC, Addr: r.Addr}
+		}
+		p.Streams[i] = snapshot.Stream{Refs: refs, Heat: st.Heat}
+	}
+	if m := sp.matcher.Load(); m != nil {
+		if issued, hits := m.AccuracyCounters(); issued > 0 {
+			p.Baseline = snapshot.Baseline{Valid: true, Issued: issued, Hits: hits}
+		}
+	}
+	if err := snapshot.Write(w, p); err != nil {
+		return err
+	}
+	sp.snapWrites.Add(1)
+	sp.obs.Emit(obs.KindSnapshotWritten, -1, uint64(len(streams)))
+	return nil
+}
+
+// RestoreSnapshot loads a snapshot into the profile as its warm-start
+// stream set: the restored streams merge into BankedStreams (so the next
+// optimization — or checkpoint — sees them alongside anything live cycles
+// bank), and an attached matcher is pre-compiled over them immediately.
+//
+// Every load failure — bad magic, version skew, checksum mismatch,
+// truncation, implausible counts — returns the loader's typed error
+// (snapshot.IsFormatError), increments Stats.SnapshotLoadFailures, emits an
+// EventSnapshotLoadFailed tracer event, and leaves the profile exactly as
+// it was: cold, profiling from zero. A corrupt snapshot can cost a warm
+// start, never correctness.
+//
+// The restored set is provisional: a Supervisor attached after the restore
+// optimizes from it immediately but demotes to cold profiling if the live
+// workload disagrees (see SupervisorConfig.ProvisionalWindows and
+// DriftOverlapFloor), clearing the restored set.
+func (sp *ShardedProfile) RestoreSnapshot(r io.Reader) (RestoreInfo, error) {
+	p, err := snapshot.Read(r)
+	if err != nil {
+		sp.snapLoadFailures.Add(1)
+		sp.obs.Emit(obs.KindSnapshotLoadFailed, -1, 0)
+		return RestoreInfo{}, err
+	}
+	streams := make([]Stream, len(p.Streams))
+	totalRefs := 0
+	for i, st := range p.Streams {
+		refs := make([]Ref, len(st.Refs))
+		for j, r := range st.Refs {
+			refs[j] = Ref{PC: r.PC, Addr: r.Addr}
+		}
+		streams[i] = Stream{Refs: refs, Heat: st.Heat}
+		totalRefs += len(st.Refs)
+	}
+	sp.restoredMu.Lock()
+	sp.restored = streams
+	sp.restoredGen = p.Generation
+	sp.restoredBaseline = p.Baseline
+	sp.restoredMu.Unlock()
+	sp.snapRestores.Add(1)
+	sp.obs.Emit(obs.KindSnapshotRestored, -1, uint64(len(streams)))
+	if m := sp.matcher.Load(); m != nil && len(streams) > 0 {
+		// Pre-compile the DFSM so prefetching starts before any supervisor
+		// tick. defaultHeadLen matches SupervisorConfig's zero-value HeadLen;
+		// a supervisor with a different HeadLen re-swaps at attach.
+		if err := m.Swap(streams, defaultHeadLen); err != nil {
+			return RestoreInfo{}, err
+		}
+	}
+	return RestoreInfo{
+		Generation:       p.Generation,
+		CreatedAt:        time.Unix(0, p.CreatedAt),
+		Streams:          len(streams),
+		Refs:             totalRefs,
+		BaselineValid:    p.Baseline.Valid,
+		BaselineAccuracy: p.Baseline.Accuracy(),
+	}, nil
+}
+
+// defaultHeadLen is the paper's best detection prefix length (§4.3) — the
+// SupervisorConfig zero-value and the head length RestoreSnapshot
+// pre-compiles with.
+const defaultHeadLen = 2
+
+// restoredStreams returns a copy of the warm-start stream set, nil when
+// cold.
+func (sp *ShardedProfile) restoredStreams() []Stream {
+	sp.restoredMu.Lock()
+	defer sp.restoredMu.Unlock()
+	if len(sp.restored) == 0 {
+		return nil
+	}
+	out := make([]Stream, len(sp.restored))
+	copy(out, sp.restored)
+	return out
+}
+
+// clearRestored drops the warm-start stream set (supervisor demotion), and
+// counts the rejection. value is the bad-window run that triggered it (0
+// for drift detection).
+func (sp *ShardedProfile) clearRestored(value uint64) {
+	sp.restoredMu.Lock()
+	sp.restored = nil
+	sp.restoredMu.Unlock()
+	sp.snapStaleRejected.Add(1)
+	sp.obs.Emit(obs.KindSnapshotStaleRejected, -1, value)
+}
+
+// streamOverlap is the drift heuristic: |a ∩ b| / min(|a|, |b|) over exact
+// stream identity (same references in the same order). 1 means the smaller
+// set is contained in the larger; 0 means disjoint — the restored profile
+// describes a workload the live trace no longer runs.
+func streamOverlap(a, b []Stream) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	set := make(map[string]struct{}, len(a))
+	var key []byte
+	for _, st := range a {
+		key = streamKey(key[:0], st)
+		set[string(key)] = struct{}{}
+	}
+	inter := 0
+	for _, st := range b {
+		key = streamKey(key[:0], st)
+		if _, ok := set[string(key)]; ok {
+			inter++
+		}
+	}
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	return float64(inter) / float64(m)
+}

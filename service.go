@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hotprefetch/internal/ref"
 	"hotprefetch/internal/tracefile"
@@ -50,8 +51,13 @@ const (
 	publishChunk = 2048
 
 	// maxTenantKeyLen bounds tenant keys; they become Prometheus label
-	// values and map keys, so they must stay small and printable.
+	// values, map keys, and snapshot file names, so they must stay small,
+	// printable, and filesystem-safe.
 	maxTenantKeyLen = 64
+
+	// defaultSnapshotInterval is the periodic checkpoint cadence when
+	// ServiceConfig.SnapshotDir is set without an explicit interval.
+	defaultSnapshotInterval = 60 * time.Second
 )
 
 // ErrServiceClosed is returned by Service.Tenant after Close.
@@ -84,6 +90,18 @@ type ServiceConfig struct {
 	// own labeled series, everything else is aggregated under
 	// tenant="_other", so a tenant churn storm cannot blow up the scrape.
 	MetricsTenants int
+
+	// SnapshotDir, when non-empty, enables durable per-tenant snapshots
+	// under <SnapshotDir>/<key>.snap: newly created tenants warm-start from
+	// their file when present, CheckpointAll (and the periodic loop) writes
+	// them atomically, and hdsprofd checkpoints every tenant during
+	// graceful drain. See service_snapshot.go.
+	SnapshotDir string
+
+	// SnapshotInterval is the periodic checkpoint cadence when SnapshotDir
+	// is set: 0 means 60s, negative disables the background loop (leaving
+	// checkpoints to CheckpointAll and the /snapshot endpoints).
+	SnapshotInterval time.Duration
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -103,6 +121,9 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	}
 	if c.MetricsTenants <= 0 {
 		c.MetricsTenants = defaultMetricsTenants
+	}
+	if c.SnapshotDir != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = defaultSnapshotInterval
 	}
 	return c
 }
@@ -126,6 +147,11 @@ type Tenant struct {
 	lastUsed  atomic.Uint64 // service logical clock at last publish
 	publishes atomic.Uint64 // publish requests that reached this tenant
 	published atomic.Uint64 // references accepted from publish bodies
+
+	// gen is the tenant's snapshot generation: the generation restored at
+	// warm start (or adopted from POST /snapshot), advanced by each
+	// successful checkpoint. See service_snapshot.go.
+	gen atomic.Uint64
 
 	closeOnce sync.Once
 }
@@ -157,6 +183,17 @@ type Service struct {
 	publishedRefs atomic.Uint64
 	decodeErrors  atomic.Uint64
 	rejected      atomic.Uint64
+
+	// Snapshot machinery (see service_snapshot.go): snapMu serializes
+	// checkpoint passes so generation advancement never races; snapStop
+	// stops the periodic loop at Close.
+	snapMu        sync.Mutex
+	snapStop      chan struct{}
+	snapLoads     atomic.Uint64
+	snapLoadFails atomic.Uint64
+	snapWrites    atomic.Uint64
+	snapWriteErrs atomic.Uint64
+	snapRefused   atomic.Uint64
 }
 
 // NewService returns a service with no tenants; tenants materialize on first
@@ -166,7 +203,13 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Service{cfg: cfg, tenants: make(map[string]*Tenant)}, nil
+	svc := &Service{cfg: cfg, tenants: make(map[string]*Tenant)}
+	if cfg.SnapshotDir != "" && cfg.SnapshotInterval > 0 {
+		svc.snapStop = make(chan struct{})
+		svc.closers.Add(1)
+		go svc.checkpointLoop(svc.snapStop)
+	}
+	return svc, nil
 }
 
 func validTenantKey(key string) bool {
@@ -220,6 +263,9 @@ func (svc *Service) Tenant(key string) (*Tenant, error) {
 		return nil, err
 	}
 	t = &Tenant{key: key, sp: sp}
+	if svc.cfg.SnapshotDir != "" {
+		svc.warmLoadLocked(t)
+	}
 	t.lastUsed.Store(now)
 	svc.tenants[key] = t
 	return t, nil
@@ -286,6 +332,10 @@ func (svc *Service) Close() {
 		return
 	}
 	svc.closed = true
+	if svc.snapStop != nil {
+		close(svc.snapStop)
+		svc.snapStop = nil
+	}
 	tenants := make([]*Tenant, 0, len(svc.tenants))
 	for _, t := range svc.tenants {
 		tenants = append(tenants, t)
@@ -319,6 +369,7 @@ func (svc *Service) snapshotTenants() []*Tenant {
 // TenantStats is one tenant's slice of a ServiceStats snapshot.
 type TenantStats struct {
 	Key           string `json:"key"`
+	Generation    uint64 `json:"generation"`
 	Publishes     uint64 `json:"publishes"`
 	PublishedRefs uint64 `json:"published_refs"`
 	Profile       Stats  `json:"profile"`
@@ -335,6 +386,16 @@ type ServiceStats struct {
 	PublishedRefs uint64        `json:"published_refs"`
 	DecodeErrors  uint64        `json:"decode_errors"`
 	Rejected      uint64        `json:"rejected"`
+
+	// Snapshot counters (see service_snapshot.go): warm loads that
+	// succeeded, loads the format validator rejected, checkpoints written,
+	// checkpoint I/O failures, and checkpoints refused because the existing
+	// file carried a newer generation.
+	SnapshotLoads        uint64 `json:"snapshot_loads"`
+	SnapshotLoadFailures uint64 `json:"snapshot_load_failures"`
+	SnapshotWrites       uint64 `json:"snapshot_writes"`
+	SnapshotWriteErrors  uint64 `json:"snapshot_write_errors"`
+	SnapshotRefused      uint64 `json:"snapshot_refused"`
 }
 
 // Stats returns a snapshot of the service's counters, tenants sorted by key.
@@ -349,10 +410,17 @@ func (svc *Service) Stats() ServiceStats {
 		PublishedRefs: svc.publishedRefs.Load(),
 		DecodeErrors:  svc.decodeErrors.Load(),
 		Rejected:      svc.rejected.Load(),
+
+		SnapshotLoads:        svc.snapLoads.Load(),
+		SnapshotLoadFailures: svc.snapLoadFails.Load(),
+		SnapshotWrites:       svc.snapWrites.Load(),
+		SnapshotWriteErrors:  svc.snapWriteErrs.Load(),
+		SnapshotRefused:      svc.snapRefused.Load(),
 	}
 	for i, t := range tenants {
 		st.Tenants[i] = TenantStats{
 			Key:           t.key,
+			Generation:    t.gen.Load(),
 			Publishes:     t.publishes.Load(),
 			PublishedRefs: t.published.Load(),
 			Profile:       t.sp.Stats(),
@@ -376,6 +444,8 @@ var decodePool = sync.Pool{New: func() any {
 //
 //	POST /ingest?tenant=KEY[&stream=ID]  body: tracefile-framed references
 //	GET  /hotstreams?tenant=KEY[&top=N]  banked hot streams as JSON
+//	GET  /snapshot?tenant=KEY            tenant durable state, snapshot format
+//	POST /snapshot?tenant=KEY            restore an uploaded snapshot
 //	GET  /stats                          ServiceStats as JSON
 //	GET  /metrics                        Prometheus text exposition
 //
@@ -385,6 +455,8 @@ func (svc *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", svc.handleIngest)
 	mux.HandleFunc("GET /hotstreams", svc.handleHotStreams)
+	mux.HandleFunc("GET /snapshot", svc.handleSnapshotGet)
+	mux.HandleFunc("POST /snapshot", svc.handleSnapshotPost)
 	mux.HandleFunc("GET /stats", svc.handleStats)
 	mux.Handle("GET /metrics", svc.MetricsHandler())
 	return mux

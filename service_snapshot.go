@@ -1,0 +1,276 @@
+package hotprefetch
+
+// Durable per-tenant snapshots: with ServiceConfig.SnapshotDir set, every
+// tenant's profile is checkpointed to <dir>/<key>.snap — periodically by a
+// background loop, on demand via CheckpointAll (hdsprofd's graceful drain),
+// and over HTTP via POST/GET /snapshot. Tenant keys are already
+// filesystem-safe ([A-Za-z0-9._-], bounded length), so the key maps to the
+// file name directly.
+//
+// Checkpoints are crash-safe: each write goes to a temp file in the same
+// directory, is fsynced, and renamed over the target, so a crash at any
+// instant leaves either the old snapshot or the new one — never a torn
+// file. A writer also refuses to overwrite a file whose header carries a
+// generation at or above the one it is about to write (another instance
+// owns it), failing with ErrSnapshotGeneration instead.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hotprefetch/internal/snapshot"
+)
+
+// snapshotExt is the per-tenant snapshot file suffix under SnapshotDir.
+const snapshotExt = ".snap"
+
+// ErrSnapshotGeneration is returned by CheckpointAll (and counted in
+// ServiceStats.SnapshotRefused) when an existing snapshot file carries a
+// generation at or above the one about to be written: a newer writer owns
+// the file, and clobbering it would roll the durable profile backwards.
+var ErrSnapshotGeneration = errors.New("hotprefetch: existing snapshot has a newer generation")
+
+// snapshotPath returns the tenant's snapshot file path.
+func (svc *Service) snapshotPath(key string) string {
+	return filepath.Join(svc.cfg.SnapshotDir, key+snapshotExt)
+}
+
+// warmLoadLocked restores <dir>/<key>.snap into a freshly created tenant's
+// profile, if the file exists. A missing file is a plain cold start; a
+// corrupt or stale-format file counts a load failure (service and profile
+// level) and the tenant starts cold — a bad snapshot can cost a warm start,
+// never a tenant. Called with svc.mu held during tenant creation: snapshot
+// loads are bounded by the format's section caps and tenant creation is
+// rare, so the registry lock hold is acceptable.
+func (svc *Service) warmLoadLocked(t *Tenant) {
+	f, err := os.Open(svc.snapshotPath(t.key))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	info, err := t.sp.RestoreSnapshot(bufio.NewReader(f))
+	if err != nil {
+		// The profile counted its own load failure and emitted the event;
+		// mirror it at the service level.
+		svc.snapLoadFails.Add(1)
+		return
+	}
+	t.gen.Store(info.Generation)
+	svc.snapLoads.Add(1)
+}
+
+// LoadSnapshots scans SnapshotDir for *.snap files and materializes a warm
+// tenant for each — hdsprofd's boot-time warm start. It returns how many
+// tenants restored and how many snapshot files failed to load (corrupt
+// files leave their tenant registered but cold). Without a SnapshotDir it
+// is a no-op.
+func (svc *Service) LoadSnapshots() (loaded, failed int) {
+	if svc.cfg.SnapshotDir == "" {
+		return 0, 0
+	}
+	entries, err := os.ReadDir(svc.cfg.SnapshotDir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapshotExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, snapshotExt)
+		if !validTenantKey(key) {
+			continue
+		}
+		before := svc.snapLoads.Load()
+		// Tenant creation performs the restore (warmLoadLocked); an already
+		// registered tenant was restored at its own creation.
+		if _, err := svc.Tenant(key); err != nil {
+			failed++
+			continue
+		}
+		if svc.snapLoads.Load() > before {
+			loaded++
+		} else {
+			failed++
+		}
+	}
+	return loaded, failed
+}
+
+// CheckpointAll writes every registered tenant's snapshot, returning how
+// many checkpoints landed and the join of per-tenant failures. Safe to call
+// concurrently with live ingest: the encode reads only banked streams.
+// Without a SnapshotDir it is a no-op.
+func (svc *Service) CheckpointAll() (int, error) {
+	if svc.cfg.SnapshotDir == "" {
+		return 0, nil
+	}
+	svc.snapMu.Lock()
+	defer svc.snapMu.Unlock()
+	var (
+		written int
+		errs    []error
+	)
+	for _, t := range svc.snapshotTenants() {
+		if err := svc.checkpointTenantLocked(t); err != nil {
+			errs = append(errs, fmt.Errorf("tenant %q: %w", t.key, err))
+			continue
+		}
+		written++
+	}
+	return written, errors.Join(errs...)
+}
+
+// checkpointTenantLocked writes one tenant's snapshot atomically under the
+// next generation. Callers hold svc.snapMu, which serializes generation
+// advancement.
+func (svc *Service) checkpointTenantLocked(t *Tenant) error {
+	gen := t.gen.Load() + 1
+	path := svc.snapshotPath(t.key)
+	// Peek the existing file's header: a generation at or above ours means
+	// a newer writer owns this file — refuse rather than roll it back. An
+	// unreadable or corrupt existing file is overwritten (that is the
+	// recovery path for torn disks).
+	if f, err := os.Open(path); err == nil {
+		info, ierr := snapshot.ReadInfo(bufio.NewReader(f))
+		f.Close()
+		if ierr == nil && info.Generation >= gen {
+			svc.snapRefused.Add(1)
+			return fmt.Errorf("%w: file generation %d >= next %d", ErrSnapshotGeneration, info.Generation, gen)
+		}
+	}
+	tmp, err := os.CreateTemp(svc.cfg.SnapshotDir, "."+t.key+".tmp-*")
+	if err != nil {
+		svc.snapWriteErrs.Add(1)
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	bw := bufio.NewWriter(tmp)
+	if err := t.sp.WriteSnapshot(bw, gen); err != nil {
+		tmp.Close()
+		svc.snapWriteErrs.Add(1)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		svc.snapWriteErrs.Add(1)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		svc.snapWriteErrs.Add(1)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		svc.snapWriteErrs.Add(1)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		svc.snapWriteErrs.Add(1)
+		return err
+	}
+	t.gen.Store(gen)
+	svc.snapWrites.Add(1)
+	return nil
+}
+
+// checkpointLoop is the periodic checkpoint goroutine, started by
+// NewService when SnapshotDir is set with a positive SnapshotInterval and
+// stopped by Close.
+func (svc *Service) checkpointLoop(stop <-chan struct{}) {
+	defer svc.closers.Done()
+	ticker := time.NewTicker(svc.cfg.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			// Failures are counted in the snapshot counters; the loop keeps
+			// ticking (a full disk now may clear later).
+			svc.CheckpointAll()
+		}
+	}
+}
+
+// snapshotResult is the POST /snapshot success response body.
+type snapshotResult struct {
+	Tenant     string `json:"tenant"`
+	Generation uint64 `json:"generation"`
+	Streams    int    `json:"streams"`
+	Refs       int    `json:"refs"`
+}
+
+// handleSnapshotGet serves GET /snapshot?tenant=K: the tenant's current
+// durable state in the snapshot wire format, at its current generation —
+// a read, so the generation does not advance.
+func (svc *Service) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("tenant")
+	if !validTenantKey(key) {
+		http.Error(w, ErrBadTenantKey.Error(), http.StatusBadRequest)
+		return
+	}
+	t, ok := svc.Lookup(key)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", key), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := t.sp.WriteSnapshot(w, t.gen.Load()); err != nil {
+		// Headers are out; the client sees a truncated body and its own
+		// loader rejects it with a typed error. Nothing more we can do.
+		svc.snapWriteErrs.Add(1)
+	}
+}
+
+// handleSnapshotPost serves POST /snapshot?tenant=K: restore an uploaded
+// snapshot into the tenant (creating it if absent) — the remote half of a
+// warm start, for migrating a profile between service instances. A body the
+// format validator rejects is a 400 with the typed error's message and the
+// tenant stays as it was.
+func (svc *Service) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("tenant")
+	t, err := svc.Tenant(key)
+	switch {
+	case errors.Is(err, ErrBadTenantKey):
+		svc.rejected.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, ErrServiceClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, svc.cfg.MaxBodyBytes)
+	info, err := t.sp.RestoreSnapshot(bufio.NewReader(body))
+	if err != nil {
+		svc.snapLoadFails.Add(1)
+		http.Error(w, err.Error(), httpDecodeStatus(err))
+		return
+	}
+	svc.snapLoads.Add(1)
+	// Adopt the snapshot's generation when it is ahead, so the next
+	// checkpoint writes past it instead of being refused.
+	for {
+		cur := t.gen.Load()
+		if info.Generation <= cur || t.gen.CompareAndSwap(cur, info.Generation) {
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snapshotResult{
+		Tenant:     key,
+		Generation: info.Generation,
+		Streams:    info.Streams,
+		Refs:       info.Refs,
+	})
+}

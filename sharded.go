@@ -17,6 +17,7 @@ import (
 	"hotprefetch/internal/obs"
 	"hotprefetch/internal/procid"
 	"hotprefetch/internal/ring"
+	"hotprefetch/internal/snapshot"
 )
 
 // ShardedProfile scales profile ingestion across concurrent producers: N
@@ -70,6 +71,21 @@ type ShardedProfile struct {
 	flushStalls atomic.Uint64 // lossy HotStreams calls that hit a stall
 	matcher     atomic.Pointer[ConcurrentMatcher]
 	supervisor  atomic.Pointer[Supervisor]
+
+	// Warm-start state (see persist.go): restored holds the stream set
+	// loaded by RestoreSnapshot until a supervisor demotes it as stale;
+	// restoredGen and restoredBaseline carry the snapshot's generation and
+	// accuracy counters for checkpointing and provisional trust.
+	restoredMu       sync.Mutex
+	restored         []Stream
+	restoredGen      uint64
+	restoredBaseline snapshot.Baseline
+
+	// Snapshot lifecycle counters, mirrored into Stats and WriteMetrics.
+	snapWrites        atomic.Uint64
+	snapRestores      atomic.Uint64
+	snapLoadFailures  atomic.Uint64
+	snapStaleRejected atomic.Uint64
 
 	// obs is the observability hub (never nil): phase events, latency
 	// histograms, and the Prometheus exporter's source. See Observer.
@@ -1322,7 +1338,26 @@ func (sp *ShardedProfile) HotStreams(cfg AnalysisConfig) []Stream {
 // running; the Supervisor retrains from it on live traffic. Cycles whose
 // background analysis has not landed yet are simply not visible; callers
 // needing a complete cut use HotStreamsErr at quiescence instead.
+// A snapshot-restored stream set (RestoreSnapshot) participates in the
+// merge like one more shard's banked cycles — sorted and duplicate-free, so
+// a restore followed by a snapshot of an otherwise idle profile round-trips
+// the stream set bit-identically. Live evidence for the same stream sums
+// its heat with the restored copy.
 func (sp *ShardedProfile) BankedStreams(maxStreams int) []Stream {
+	perShard := make([][]Stream, 0, len(sp.shards)+1)
+	if rs := sp.restoredStreams(); len(rs) > 0 {
+		perShard = append(perShard, rs)
+	}
+	for _, s := range sp.shards {
+		perShard = append(perShard, s.retainedStreams())
+	}
+	return mergeStreams(perShard, maxStreams)
+}
+
+// liveBankedStreams is BankedStreams without the warm-start set: only
+// streams banked by this run's grammar cycles. The supervisor's drift check
+// compares it against the restored set.
+func (sp *ShardedProfile) liveBankedStreams(maxStreams int) []Stream {
 	perShard := make([][]Stream, len(sp.shards))
 	for i, s := range sp.shards {
 		perShard[i] = s.retainedStreams()

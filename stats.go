@@ -177,6 +177,21 @@ type Stats struct {
 	MatcherObservations uint64 `json:"matcher_observations"`
 	MatcherSwaps        uint64 `json:"matcher_swaps"`
 
+	// Snapshot lifecycle counters (see WriteSnapshot / RestoreSnapshot):
+	// RestoredStreams is the size of the warm-start stream set currently
+	// merged into BankedStreams (0 when cold or demoted);
+	// SnapshotGeneration is the generation of the last restored snapshot.
+	// SnapshotWrites counts successful encodes, SnapshotRestores successful
+	// loads, SnapshotLoadFailures loads rejected by the format validator,
+	// and SnapshotStaleRejected restored profiles the supervisor demoted as
+	// stale (bad accuracy windows or workload drift).
+	RestoredStreams       int    `json:"restored_streams"`
+	SnapshotGeneration    uint64 `json:"snapshot_generation"`
+	SnapshotWrites        uint64 `json:"snapshot_writes"`
+	SnapshotRestores      uint64 `json:"snapshot_restores"`
+	SnapshotLoadFailures  uint64 `json:"snapshot_load_failures"`
+	SnapshotStaleRejected uint64 `json:"snapshot_stale_rejected"`
+
 	// Supervisor is the supervision snapshot when a Supervisor is attached
 	// (see Supervise): phase-cycle state, last accuracy window, and the
 	// deoptimize/re-optimize counts.
@@ -267,6 +282,14 @@ func (sp *ShardedProfile) Stats() Stats {
 			st.MaxCycleStall = ss.MaxCycleStall
 		}
 	}
+	sp.restoredMu.Lock()
+	st.RestoredStreams = len(sp.restored)
+	st.SnapshotGeneration = sp.restoredGen
+	sp.restoredMu.Unlock()
+	st.SnapshotWrites = sp.snapWrites.Load()
+	st.SnapshotRestores = sp.snapRestores.Load()
+	st.SnapshotLoadFailures = sp.snapLoadFailures.Load()
+	st.SnapshotStaleRejected = sp.snapStaleRejected.Load()
 	if m := sp.matcher.Load(); m != nil {
 		st.MatcherObservations = m.Observations()
 		st.MatcherSwaps = m.Swaps()

@@ -92,6 +92,22 @@ type SupervisorConfig struct {
 	// 4096.
 	MinFreshRefs uint64
 
+	// ProvisionalWindows is the bad-window threshold while a warm-started
+	// (snapshot-restored) optimization is provisional: the restored profile
+	// earned its trust in a previous run, so it gets fewer strikes than a
+	// live-trained one (BadWindows) before demotion. One conclusive window
+	// at or above AccuracyFloor promotes it to fully trusted. Zero means 2.
+	ProvisionalWindows int
+
+	// DriftOverlapFloor is the workload-drift threshold for a provisional
+	// optimization: once the first live grammar cycle banks, the restored
+	// stream set is compared against the live banked set, and an overlap
+	// ratio (|restored ∩ live| / min size) below the floor demotes the warm
+	// start immediately — the workload no longer runs those streams, so
+	// waiting out accuracy windows would just issue useless prefetches.
+	// Zero means 0.25; negative disables the check.
+	DriftOverlapFloor float64
+
 	// ForgetOnDeoptimize, when true, clears the shards' retained stream
 	// sets at deoptimization, so re-optimization sees only streams banked
 	// after the phase change — the paper's full cycle-end deallocation.
@@ -129,6 +145,12 @@ func (c SupervisorConfig) withDefaults() SupervisorConfig {
 	if c.MinFreshRefs == 0 {
 		c.MinFreshRefs = 4096
 	}
+	if c.ProvisionalWindows == 0 {
+		c.ProvisionalWindows = 2
+	}
+	if c.DriftOverlapFloor == 0 {
+		c.DriftOverlapFloor = 0.25
+	}
 	return c
 }
 
@@ -142,6 +164,12 @@ func (c SupervisorConfig) Validate() error {
 	}
 	if c.BadWindows < 0 {
 		return fmt.Errorf("hotprefetch: negative supervisor BadWindows %d", c.BadWindows)
+	}
+	if c.ProvisionalWindows < 0 {
+		return fmt.Errorf("hotprefetch: negative supervisor ProvisionalWindows %d", c.ProvisionalWindows)
+	}
+	if c.DriftOverlapFloor > 1 {
+		return fmt.Errorf("hotprefetch: supervisor DriftOverlapFloor %g above 1", c.DriftOverlapFloor)
 	}
 	if c.HeadLen < 0 {
 		return fmt.Errorf("hotprefetch: negative supervisor HeadLen %d", c.HeadLen)
@@ -177,6 +205,11 @@ type SupervisorStats struct {
 	// PollErrors counts Poll ticks that failed (flush or analysis-pool
 	// stalls during re-optimization).
 	PollErrors uint64 `json:"poll_errors"`
+
+	// Provisional reports that the current optimization came from a
+	// restored snapshot and has not yet earned a conclusive good accuracy
+	// window (see SupervisorConfig.ProvisionalWindows).
+	Provisional bool `json:"provisional,omitempty"`
 }
 
 // Supervisor closes the paper's control loop over a profiling service and
@@ -211,6 +244,15 @@ type Supervisor struct {
 	resetsBase   uint64
 	consumedBase uint64
 
+	// Warm-start provisional trust (pollMu except the atomic flag):
+	// provisional marks an optimization restored from a snapshot that has
+	// not yet produced a good live window; restored holds the warm-start
+	// stream set for the drift check, which runs once (driftChecked) when
+	// the first live cycle banks.
+	provisional  atomic.Bool
+	restored     []Stream
+	driftChecked bool
+
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -241,7 +283,29 @@ func Supervise(sp *ShardedProfile, cm *ConcurrentMatcher, cfg SupervisorConfig) 
 		done: make(chan struct{}),
 	}
 	cm.EnableAccuracyTracking(0)
-	if cm.NumStates() > 1 {
+	if restored := sp.restoredStreams(); len(restored) > 0 {
+		// Warm start: a snapshot was restored into the profile, so optimize
+		// from it immediately — no profiling period — but provisionally. The
+		// restored profile earned its trust in a previous run; judgeWindow
+		// gives it only ProvisionalWindows strikes and checkDrift compares it
+		// against the first live banked cycle. Either demotion clears the
+		// restored set and falls back to cold profiling.
+		if err := cm.Swap(restored, cfg.HeadLen); err != nil {
+			return nil, err
+		}
+		s.provisional.Store(true)
+		s.restored = restored
+		sp.restoredMu.Lock()
+		base := sp.restoredBaseline
+		sp.restoredMu.Unlock()
+		if base.Valid {
+			// Start the reported accuracy at the previous run's measured
+			// ratio until the first conclusive live window replaces it.
+			s.accBits.Store(math.Float64bits(base.Accuracy()))
+		}
+		s.state.Store(int32(StateOptimized))
+		sp.obs.Emit(obs.KindPhaseOptimized, -1, uint64(len(restored)))
+	} else if cm.NumStates() > 1 {
 		s.state.Store(int32(StateOptimized))
 		sp.obs.Emit(obs.KindPhaseOptimized, -1, uint64(cm.NumStates()))
 	} else {
@@ -312,6 +376,7 @@ func (s *Supervisor) Snapshot() SupervisorStats {
 		PrefetchesIssued:  issued,
 		PrefetchesHit:     hits,
 		PollErrors:        s.pollErrors.Load(),
+		Provisional:       s.provisional.Load(),
 	}
 }
 
@@ -327,7 +392,12 @@ func (s *Supervisor) Poll() error {
 	defer s.pollMu.Unlock()
 	switch s.State() {
 	case StateOptimized:
-		s.judgeWindow()
+		if s.provisional.Load() {
+			s.checkDrift()
+		}
+		if s.State() == StateOptimized {
+			s.judgeWindow()
+		}
 		return nil
 	default:
 		return s.tryOptimize()
@@ -362,10 +432,68 @@ func (s *Supervisor) judgeWindow() {
 	s.sp.obs.AccuracyWindow.ObserveRatio(acc)
 	if acc >= s.cfg.AccuracyFloor {
 		s.badRun.Store(0)
+		// One conclusive good window promotes a provisional (warm-started)
+		// optimization to fully trusted: from here it gets the ordinary
+		// BadWindows allowance and its demise would be a deoptimization,
+		// not a stale-snapshot rejection.
+		s.provisional.Store(false)
+		return
+	}
+	if s.provisional.Load() {
+		if int(s.badRun.Add(1)) >= s.cfg.ProvisionalWindows {
+			s.demoteProvisional(uint64(s.cfg.ProvisionalWindows))
+		}
 		return
 	}
 	if int(s.badRun.Add(1)) >= s.cfg.BadWindows {
 		s.deoptimize()
+	}
+}
+
+// demoteProvisional rejects the warm start as stale: a pass-through matcher
+// is published, the restored stream set is dropped from BankedStreams (so
+// the next optimization trains only on live evidence), and the supervisor
+// falls back to cold profiling — the restored profile leaves no trace but
+// the stale-rejection counter and event. value is the bad-window run that
+// triggered it, or 0 for drift detection.
+func (s *Supervisor) demoteProvisional(value uint64) {
+	if err := s.cm.Swap(nil, s.cfg.HeadLen); err != nil {
+		s.pollErrors.Add(1)
+		return
+	}
+	s.provisional.Store(false)
+	s.restored = nil
+	s.driftChecked = true
+	s.sp.clearRestored(value)
+	st := s.sp.Stats()
+	s.resetsBase, s.consumedBase = st.Resets, st.Consumed
+	s.badRun.Store(0)
+	s.accBits.Store(0)
+	s.state.Store(int32(StateProfiling))
+	s.sp.obs.Emit(obs.KindPhaseProfiling, -1, 0)
+}
+
+// checkDrift runs the workload-drift heuristic once per warm start, as soon
+// as the first live grammar cycle has banked: if the restored stream set
+// and the live banked set overlap below DriftOverlapFloor, the workload no
+// longer runs the snapshotted streams and the warm start is demoted
+// immediately instead of waiting out bad accuracy windows.
+func (s *Supervisor) checkDrift() {
+	if s.driftChecked || s.cfg.DriftOverlapFloor < 0 {
+		return
+	}
+	st := s.sp.Stats()
+	if st.Resets == s.resetsBase {
+		return
+	}
+	live := s.sp.liveBankedStreams(0)
+	if len(live) == 0 {
+		// The cycle banked nothing hot; wait for real evidence.
+		return
+	}
+	s.driftChecked = true
+	if streamOverlap(s.restored, live) < s.cfg.DriftOverlapFloor {
+		s.demoteProvisional(0)
 	}
 }
 
