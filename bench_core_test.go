@@ -139,3 +139,26 @@ func BenchmarkDFSMBuild(b *testing.B) {
 		_ = m
 	}
 }
+
+// BenchmarkPredictorObserve measures one observed reference through each
+// registered predictor implementation, all trained on the same hot-stream
+// set — the per-reference detection cost the head-to-head harness charges
+// as cycles. The DFSM sub-benchmark must stay zero-alloc: it is the default
+// production detection path.
+func BenchmarkPredictorObserve(b *testing.B) {
+	streams := coreStreams(b)
+	trace := coreTrace(1 << 14)
+	for _, name := range []string{"dfsm", "markov", "stride"} {
+		b.Run(name, func(b *testing.B) {
+			p, err := NewPredictor(name, streams, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Observe(trace[i&(1<<14-1)])
+			}
+		})
+	}
+}

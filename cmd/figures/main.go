@@ -30,7 +30,7 @@ func main() {
 
 	fig := flag.Int("fig", 0, "regenerate figure 11 or 12")
 	table := flag.Int("table", 0, "regenerate table 2")
-	ablation := flag.String("ablation", "", "run an ablation: headlen, hardware, static, schedule, hybrid, stability, motivation, sampling, prepass, or reuse")
+	ablation := flag.String("ablation", "", "run an ablation: headlen, hardware, static, schedule, hybrid, stability, motivation, sampling, prepass, reuse, or predictors")
 	bench := flag.String("bench", "", "restrict to one benchmark (default: all six)")
 	all := flag.Bool("all", false, "regenerate everything")
 	format := flag.String("format", "text", "output format for figures/tables: text, csv, or chart")
@@ -178,6 +178,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(stats.RenderReuse(results))
+	}
+	if *all || *ablation == "predictors" {
+		results, err := experiment.PredictorComparison(params, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(stats.RenderPredictors(results))
 	}
 	if !*all && *fig != 0 && *fig != 11 && *fig != 12 {
 		fmt.Fprintln(os.Stderr, "only figures 11 and 12 exist in the paper")

@@ -90,7 +90,22 @@ func main() {
 	workers := flag.Int("workers", 0, "service background analysis workers for pipelined grammar cycles (0 = inline)")
 	burstFlag := flag.String("burst", "off", "service bursty-sampling front end: off, paper, or nCheck:nInstr:nAwake:nHibernate")
 	metrics := flag.String("metrics", "", "serve Prometheus metrics (/metrics) and expvar (/debug/vars) on this address during a -service run, e.g. :9090")
+	predictor := flag.String("predictor", "", "train this predictor on the detected streams and replay the captured trace through it; a registry name or \"all\"")
 	flag.Parse()
+
+	var replayNames []string
+	if *predictor != "" {
+		if *predictor == "all" {
+			replayNames = hotprefetch.PredictorNames()
+		} else {
+			replayNames = []string{*predictor}
+		}
+		for _, n := range replayNames {
+			if _, err := hotprefetch.NewPredictor(n, nil, *headLen); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 
 	// The profiling sink: a plain Profile, or — in service mode — one shard
 	// of the concurrent profiling service, exercising its ingestion policy,
@@ -99,7 +114,9 @@ func main() {
 		profile *hotprefetch.Profile
 		svc     *hotprefetch.ShardedProfile
 	)
-	col := &collector{budget: *refs, keepRaw: *save != "", stop: new(atomic.Bool)}
+	// The raw trace is kept when it will be saved or replayed through a
+	// predictor after analysis.
+	col := &collector{budget: *refs, keepRaw: *save != "" || *predictor != "", stop: new(atomic.Bool)}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops the producer side
 	// and lets the run fall through to the normal flush/analyze/report path,
@@ -194,6 +211,9 @@ func main() {
 				break
 			}
 			col.add(hotprefetch.Ref{PC: r.PC, Addr: r.Addr})
+			if col.keepRaw {
+				col.raw = append(col.raw, r)
+			}
 		}
 		name = *load
 	} else {
@@ -312,6 +332,45 @@ func main() {
 			fmt.Printf("(pc%d,0x%x) ", r.PC, r.Addr)
 		}
 		fmt.Println()
+	}
+
+	if len(replayNames) > 0 {
+		replayPredictors(replayNames, streams, col.raw, *headLen)
+	}
+}
+
+// replayPredictors trains each named predictor on the detected streams and
+// replays the captured trace through it, reporting the accuracy ledger —
+// an offline miniature of the Supervisor's A/B comparison.
+func replayPredictors(names []string, streams []hotprefetch.Stream, raw []ref.Ref, headLen int) {
+	fmt.Println()
+	fmt.Println("predictor replay (trained on the streams above, over the captured trace)")
+	for _, name := range names {
+		p, err := hotprefetch.NewPredictor(name, streams, headLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.EnableAccuracyTracking(0)
+		var comparisons uint64
+		for _, r := range raw {
+			_, cmp := p.Observe(hotprefetch.Ref{PC: r.PC, Addr: r.Addr})
+			comparisons += uint64(cmp)
+		}
+		issued, hits := p.AccuracyCounters()
+		acc := 0.0
+		if issued > 0 {
+			acc = float64(hits) / float64(issued)
+		}
+		cmpPerRef := 0.0
+		if len(raw) > 0 {
+			cmpPerRef = float64(comparisons) / float64(len(raw))
+		}
+		line := fmt.Sprintf("%-8s issued=%-8d hits=%-8d accuracy=%.2f cmp/ref=%.1f", name, issued, hits, acc, cmpPerRef)
+		if b, ok := p.(hotprefetch.AccuracyBooks); ok {
+			_, _, outstanding, dropped := b.AccuracyBooks()
+			line += fmt.Sprintf(" outstanding=%d dropped=%d", outstanding, dropped)
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -1,32 +1,35 @@
 package hotprefetch
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"hotprefetch/internal/obs"
 )
 
-// ConcurrentMatcher is a Matcher safe for use by multiple goroutines, with
-// hot swapping of the matched stream set. The DFSM transition tables are
-// immutable after construction, so the step mutex only guards the single
-// current-state word; the common case is a short critical section around an
-// array-indexed Step.
+// ConcurrentMatcher is a Predictor safe for use by multiple goroutines, with
+// hot swapping of both the matched stream set and the predictor
+// implementation behind it. Historically it wrapped only the DFSM matcher —
+// the name stuck — but any registered Predictor (see RegisterPredictor) can
+// be published through it; NewConcurrentMatcher installs the default DFSM.
 //
-// The current machine is published through an atomic pointer: Swap builds
-// the replacement DFSM entirely off to the side and installs it with one
-// short lock-protected store, so Observe never waits on a retraining build
-// and never sees a torn or half-compiled table — the paper's §5
+// The current predictor is published through an atomic pointer: Swap builds
+// the replacement entirely off to the side and installs it with one short
+// lock-protected store, so Observe never waits on a retraining build and
+// never sees a torn or half-compiled table — the paper's §5
 // de-optimize/re-optimize transition without a stop-the-world on the
-// detection path.
+// detection path. The step mutex only guards the predictor's rolling match
+// state; the common case is a short critical section around an
+// array-indexed Step.
 //
 // All callers share one match state — observations interleave into a single
 // logical reference stream, exactly as if one goroutine called Observe with
 // the merged order. To match per-thread streams independently, give each
-// thread its own Matcher instead.
+// thread its own Predictor instead.
 type ConcurrentMatcher struct {
-	mu       sync.Mutex // serializes stepping of the current machine
-	cur      atomic.Pointer[Matcher]
+	mu       sync.Mutex // serializes stepping of the current predictor
+	cur      atomic.Pointer[predEntry]
 	observed atomic.Uint64
 	swaps    atomic.Uint64
 
@@ -39,9 +42,12 @@ type ConcurrentMatcher struct {
 	buildMu sync.Mutex
 
 	// Accuracy accounting (see EnableAccuracyTracking): the live counters
-	// belong to the current Matcher and are read under mu; counters of
-	// replaced machines accumulate in the bases so totals survive swaps.
+	// belong to the current predictor and are read under mu; counters of
+	// replaced instances accumulate per predictor name in book so totals
+	// survive swaps and A/B windows attribute exactly to the
+	// implementation that earned them.
 	trackWindow atomic.Int64
+	book        map[string]*predictorBook // guarded by mu
 	issuedBase  atomic.Uint64
 	hitBase     atomic.Uint64
 
@@ -49,6 +55,32 @@ type ConcurrentMatcher struct {
 	// each published retrain. AttachMatcher sets it so swaps land in the
 	// same trace as the grammar cycles that triggered them.
 	obs atomic.Pointer[obs.Observer]
+}
+
+// predEntry is one published predictor: the implementation, its registry
+// name, and the size of the stream set it was trained on (the DFSM exposes
+// real state counts; the stream count is the stats fallback for
+// implementations that do not).
+type predEntry struct {
+	name    string
+	p       Predictor
+	streams int
+}
+
+// predictorBook accumulates one implementation's retired accuracy counters
+// across swaps.
+type predictorBook struct {
+	issued, hits uint64
+	swaps        uint64
+}
+
+// PredictorAccuracy is one predictor's cumulative accuracy ledger across
+// every instance of it this matcher has published; see AccuracyByPredictor.
+type PredictorAccuracy struct {
+	Name   string `json:"name"`
+	Issued uint64 `json:"issued"`
+	Hits   uint64 `json:"hits"`
+	Swaps  uint64 `json:"swaps"` // times an instance of this predictor was published
 }
 
 // SetObserver points the matcher's event emission at o (nil detaches).
@@ -63,69 +95,103 @@ func (c *ConcurrentMatcher) SetObserver(o *obs.Observer) {
 // deoptimized state of the paper's runtime, where detection code costs one
 // failed comparison and no prefetch ever fires.
 func NewConcurrentMatcher(streams []Stream, headLen int) (*ConcurrentMatcher, error) {
-	m, err := NewMatcher(streams, headLen)
+	return NewConcurrentPredictor(DefaultPredictor, streams, headLen)
+}
+
+// NewConcurrentPredictor builds a trained instance of the named registered
+// predictor (see RegisterPredictor) and wraps it for concurrent use. The
+// empty-stream-set contract matches NewConcurrentMatcher: a pass-through
+// predictor that never prefetches.
+func NewConcurrentPredictor(name string, streams []Stream, headLen int) (*ConcurrentMatcher, error) {
+	p, err := NewPredictor(name, streams, headLen)
 	if err != nil {
 		return nil, err
 	}
-	c := &ConcurrentMatcher{}
-	c.cur.Store(m)
+	c := &ConcurrentMatcher{book: make(map[string]*predictorBook)}
+	c.cur.Store(&predEntry{name: name, p: p, streams: len(streams)})
+	c.bookFor(name).swaps++
 	return c, nil
 }
 
-// Observe consumes one data reference; see Matcher.Observe. The returned
-// prefetch slice aliases the matcher's state tables and must not be
-// mutated.
+// bookFor returns (creating if needed) the accumulated ledger for name.
+// Callers hold mu, except during construction.
+func (c *ConcurrentMatcher) bookFor(name string) *predictorBook {
+	b := c.book[name]
+	if b == nil {
+		b = &predictorBook{}
+		c.book[name] = b
+	}
+	return b
+}
+
+// Observe consumes one data reference; see Predictor. The returned prefetch
+// slice aliases the predictor's state tables and must not be mutated.
 //
-// Observe loads the published machine under the step lock: a concurrent
-// Swap either lands before (this reference drives the new machine from its
-// start state) or after (it drove the old machine, whose tables remain
-// valid), but never mid-step.
+// Observe loads the published predictor under the step lock: a concurrent
+// Swap either lands before (this reference drives the new predictor from its
+// start state) or after (it drove the old one, whose tables remain valid),
+// but never mid-step.
 func (c *ConcurrentMatcher) Observe(r Ref) (prefetch []uint64, comparisons int) {
 	c.mu.Lock()
-	prefetch, comparisons = c.cur.Load().Observe(r)
+	prefetch, comparisons = c.cur.Load().p.Observe(r)
 	c.mu.Unlock()
 	c.observed.Add(1)
 	return prefetch, comparisons
 }
 
-// Swap retrains the matcher: it builds the DFSM for the new stream set —
-// without holding the step lock, so Observe proceeds against the old
-// machine throughout the build — and publishes it positioned at its start
-// state. On error the current machine is left in place. Concurrent Swap
-// calls are serialized by a build mutex, so each retrain's build and
-// publication are atomic with respect to other retrains and the swap count
-// is exact. Swapping in an empty stream set installs the pass-through
-// machine (deoptimization).
+// Swap retrains the current predictor implementation on a new stream set;
+// see SwapNamed. Swapping in an empty stream set installs the pass-through
+// instance (deoptimization).
 func (c *ConcurrentMatcher) Swap(streams []Stream, headLen int) error {
+	return c.SwapNamed(c.cur.Load().name, streams, headLen)
+}
+
+// SwapNamed retrains the matcher, possibly changing the predictor
+// implementation: it builds the named predictor for the new stream set —
+// without holding the step lock, so Observe proceeds against the old
+// instance throughout the build — and publishes it positioned at its start
+// state. On error the current predictor is left in place. Concurrent swaps
+// are serialized by a build mutex, so each retrain's build and publication
+// are atomic with respect to other retrains and the swap count is exact.
+func (c *ConcurrentMatcher) SwapNamed(name string, streams []Stream, headLen int) error {
 	c.buildMu.Lock()
 	defer c.buildMu.Unlock()
-	m, err := NewMatcher(streams, headLen)
+	p, err := NewPredictor(name, streams, headLen)
 	if err != nil {
 		return err
 	}
 	if w := c.trackWindow.Load(); w != 0 {
-		m.EnableAccuracyTracking(int(w))
+		p.EnableAccuracyTracking(int(w))
 	}
-	// Publish under the step lock: the old machine's accuracy counters are
-	// folded into the bases in the same critical section, so no Observe can
-	// bump them between the read and the store.
+	// Publish under the step lock: the old predictor's accuracy counters
+	// are folded into its book in the same critical section, so no Observe
+	// can bump them between the read and the store.
 	c.mu.Lock()
-	issued, hits := c.cur.Load().AccuracyCounters()
+	old := c.cur.Load()
+	issued, hits := old.p.AccuracyCounters()
+	b := c.bookFor(old.name)
+	b.issued += issued
+	b.hits += hits
+	c.bookFor(name).swaps++
 	c.issuedBase.Add(issued)
 	c.hitBase.Add(hits)
-	c.cur.Store(m)
+	c.cur.Store(&predEntry{name: name, p: p, streams: len(streams)})
 	c.mu.Unlock()
 	c.swaps.Add(1)
 	if o := c.obs.Load(); o != nil {
-		// Value carries the new machine's stream count: zero marks a
-		// deoptimizing swap to the pass-through machine.
+		// Value carries the new instance's stream count: zero marks a
+		// deoptimizing swap to the pass-through predictor.
 		o.Emit(obs.KindMatcherSwap, -1, uint64(len(streams)))
 	}
 	return nil
 }
 
+// Predictor returns the registry name of the currently published predictor
+// implementation.
+func (c *ConcurrentMatcher) Predictor() string { return c.cur.Load().name }
+
 // EnableAccuracyTracking turns on prefetch accuracy accounting on the
-// current machine and every machine installed by future Swaps; see
+// current predictor and every instance installed by future Swaps; see
 // Matcher.EnableAccuracyTracking. window <= 0 means 4096.
 func (c *ConcurrentMatcher) EnableAccuracyTracking(window int) {
 	if window <= 0 {
@@ -135,18 +201,42 @@ func (c *ConcurrentMatcher) EnableAccuracyTracking(window int) {
 	defer c.buildMu.Unlock()
 	c.trackWindow.Store(int64(window))
 	c.mu.Lock()
-	c.cur.Load().EnableAccuracyTracking(window)
+	c.cur.Load().p.EnableAccuracyTracking(window)
 	c.mu.Unlock()
 }
 
 // AccuracyCounters returns the cumulative prefetch addresses issued and hit
-// across all machines this matcher has published (swaps included). Both are
-// zero until EnableAccuracyTracking.
+// across all predictors this matcher has published (swaps included). Both
+// are zero until EnableAccuracyTracking.
 func (c *ConcurrentMatcher) AccuracyCounters() (issued, hits uint64) {
 	c.mu.Lock()
-	issued, hits = c.cur.Load().AccuracyCounters()
+	issued, hits = c.cur.Load().p.AccuracyCounters()
 	c.mu.Unlock()
 	return issued + c.issuedBase.Load(), hits + c.hitBase.Load()
+}
+
+// AccuracyByPredictor splits AccuracyCounters by predictor implementation:
+// each entry accumulates the issued/hit counters of every instance of that
+// name published so far, the live one included. Entries are sorted by name.
+// Reads fold under the step lock, so at any instant the per-predictor
+// counters sum exactly to AccuracyCounters — A/B accuracy windows cannot
+// cross-contaminate or lose observations at a swap boundary.
+func (c *ConcurrentMatcher) AccuracyByPredictor() []PredictorAccuracy {
+	c.mu.Lock()
+	out := make([]PredictorAccuracy, 0, len(c.book))
+	cur := c.cur.Load()
+	liveIssued, liveHits := cur.p.AccuracyCounters()
+	for name, b := range c.book {
+		pa := PredictorAccuracy{Name: name, Issued: b.issued, Hits: b.hits, Swaps: b.swaps}
+		if name == cur.name {
+			pa.Issued += liveIssued
+			pa.Hits += liveHits
+		}
+		out = append(out, pa)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Observations returns the number of references observed so far, for service
@@ -159,15 +249,39 @@ func (c *ConcurrentMatcher) Swaps() uint64 { return c.swaps.Load() }
 // Reset returns the matcher to its start state (nothing matched).
 func (c *ConcurrentMatcher) Reset() {
 	c.mu.Lock()
-	c.cur.Load().Reset()
+	c.cur.Load().p.Reset()
 	c.mu.Unlock()
 }
 
 // NumStates returns the number of DFSM states, including the start state.
-func (c *ConcurrentMatcher) NumStates() int { return c.cur.Load().NumStates() }
+// For predictor implementations without a state machine it approximates:
+// 1 (pass-through) when trained on no streams, stream count + 1 otherwise —
+// preserving the "NumStates() > 1 means trained" test every caller uses.
+func (c *ConcurrentMatcher) NumStates() int {
+	e := c.cur.Load()
+	if m, ok := e.p.(*Matcher); ok {
+		return m.NumStates()
+	}
+	if e.streams == 0 {
+		return 1
+	}
+	return e.streams + 1
+}
 
-// NumTransitions returns the number of explicit DFSM transitions.
-func (c *ConcurrentMatcher) NumTransitions() int { return c.cur.Load().NumTransitions() }
+// NumTransitions returns the number of explicit DFSM transitions (zero for
+// non-DFSM predictors).
+func (c *ConcurrentMatcher) NumTransitions() int {
+	if m, ok := c.cur.Load().p.(*Matcher); ok {
+		return m.NumTransitions()
+	}
+	return 0
+}
 
-// PCs returns the sorted instruction addresses needing detection code.
-func (c *ConcurrentMatcher) PCs() []int { return c.cur.Load().PCs() }
+// PCs returns the sorted instruction addresses needing detection code (nil
+// for non-DFSM predictors, which observe every reference).
+func (c *ConcurrentMatcher) PCs() []int {
+	if m, ok := c.cur.Load().p.(*Matcher); ok {
+		return m.PCs()
+	}
+	return nil
+}

@@ -663,11 +663,18 @@ type Matcher struct {
 // Outstanding addresses are bounded by a FIFO window so a stale matcher
 // cannot grow the set without limit; evicted addresses simply never hit.
 type hitTracker struct {
-	set    map[uint64]struct{}
-	fifo   []uint64 // insertion-ordered ring over the outstanding set
-	head   int      // next eviction slot
-	issued uint64
-	hits   uint64
+	set  map[uint64]struct{}
+	fifo []uint64 // insertion-ordered ring over the outstanding set
+	head int      // next eviction slot
+
+	// The ledger balances exactly: every issued address is either coalesced
+	// with an already-outstanding copy at issue time, observed later (hit),
+	// evicted by the FIFO window, or still outstanding (in set). See
+	// Matcher.HitBooks.
+	issued    uint64
+	hits      uint64
+	evicted   uint64
+	coalesced uint64
 }
 
 func newHitTracker(window int) *hitTracker {
@@ -692,13 +699,21 @@ func (t *hitTracker) issue(addrs []uint64) {
 	t.issued += uint64(len(addrs))
 	for _, a := range addrs {
 		if _, ok := t.set[a]; ok {
+			t.coalesced++
 			continue
 		}
 		if len(t.fifo) < cap(t.fifo) {
 			t.fifo = append(t.fifo, a)
 		} else {
-			// Window full: evict the oldest outstanding address.
-			delete(t.set, t.fifo[t.head])
+			// Window full: evict the oldest outstanding address. A slot
+			// whose address already left the set (hit, or re-issued into a
+			// younger slot) is stale — overwriting it retires nothing.
+			if old := t.fifo[t.head]; old != a {
+				if _, live := t.set[old]; live {
+					delete(t.set, old)
+					t.evicted++
+				}
+			}
 			t.fifo[t.head] = a
 			t.head++
 			if t.head == len(t.fifo) {
@@ -726,6 +741,19 @@ func (m *Matcher) HitCounters() (issued, hits uint64) {
 		return 0, 0
 	}
 	return m.tracker.issued, m.tracker.hits
+}
+
+// HitBooks returns the tracker's full ledger: addresses issued, the subset
+// observed (hits), the subset still outstanding in the window, and the
+// subset dropped unobserved (FIFO evictions plus issues coalesced with an
+// already-outstanding copy). The books balance exactly:
+// issued == hits + outstanding + dropped. All zero until EnableHitTracking.
+func (m *Matcher) HitBooks() (issued, hits, outstanding, dropped uint64) {
+	if m.tracker == nil {
+		return 0, 0, 0, 0
+	}
+	t := m.tracker
+	return t.issued, t.hits, uint64(len(t.set)), t.evicted + t.coalesced
 }
 
 // NewMatcher returns a matcher positioned at the start state.

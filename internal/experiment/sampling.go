@@ -70,10 +70,16 @@ func (c *rawCollector) Match(pc int, addr machine.Word) ([]machine.Word, uint64)
 	return nil, 0
 }
 
-// captureTrace runs the benchmark and returns its first `refs` data
-// references.
-func captureTrace(p workload.Params, refs int) ([]ref.Ref, error) {
-	inst := workload.Build(p)
+// CaptureTrace runs the benchmark and returns its first `refs` data
+// references. The root package's differential predictor tests replay these
+// traces, so capture is exported rather than duplicated there.
+func CaptureTrace(p workload.Params, refs int) ([]ref.Ref, error) {
+	return captureInstanceTrace(workload.Build(p), refs)
+}
+
+// captureInstanceTrace is CaptureTrace over an already-built workload
+// instance (the extended workloads are built by name, not Params).
+func captureInstanceTrace(inst *workload.Instance, refs int) ([]ref.Ref, error) {
 	m := inst.NewMachine(workload.CacheConfig(), true)
 	col := &rawCollector{refs: make([]ref.Ref, 0, refs), budget: refs, m: m}
 	m.RT = col
@@ -191,7 +197,7 @@ func SamplingComparison(params []workload.Params, refs int, bcfg burst.Config) (
 	acfg := AnalysisConfig()
 	out := make([]SamplingResult, 0, len(params))
 	for _, p := range params {
-		trace, err := captureTrace(p, refs)
+		trace, err := CaptureTrace(p, refs)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}

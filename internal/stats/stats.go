@@ -244,3 +244,27 @@ func RenderReuse(results []experiment.ReuseResult) string {
 	b.WriteString(" misses dynamic prefetching hides)\n")
 	return b.String()
 }
+
+// RenderPredictors prints the predictor zoo's head-to-head comparison: every
+// registered predictor trained on the same hot-stream profile and replayed
+// over the same evaluation trace per workload.
+func RenderPredictors(results []experiment.PredictorResult) string {
+	var b strings.Builder
+	b.WriteString("Predictor head-to-head (same trace, same hot-stream profile per workload)\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tpredictor\tstreams\tissued\tuseful\taccuracy\tcoverage\ttimeliness\tcmp/ref\tcycles vs base")
+	for _, r := range results {
+		cmpPerRef := 0.0
+		if r.EvalRefs > 0 {
+			cmpPerRef = float64(r.Comparisons) / float64(r.EvalRefs)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.1f\t%+.1f%%\n",
+			r.Workload, r.Predictor, r.TrainStreams, r.Issued, r.Useful,
+			r.Accuracy, r.Coverage, r.Timeliness, cmpPerRef, 100*r.CycleDelta)
+	}
+	w.Flush()
+	b.WriteString("(accuracy = useful/issued; coverage = baseline L1 misses eliminated;\n")
+	b.WriteString(" timeliness = useful fills complete before the demand touch; cycles\n")
+	b.WriteString(" charge 1 per detection comparison on top of the memory stalls)\n")
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package hotprefetch_test
+
+// Concurrency tests for the predictor zoo: hot-swapping any registered
+// implementation (and swapping between implementations) must be safe while
+// observer goroutines hammer Observe, and the per-predictor accuracy
+// ledgers must reconcile exactly with the matcher totals under that load.
+// All run under -race in the concurrency CI job.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hotprefetch"
+	"hotprefetch/internal/predictortest"
+)
+
+// TestPredictorHotSwapRacesObserve mirrors TestMatcherHotSwapRacesObserve
+// for each registered predictor: retrain between two stream sets while four
+// goroutines observe. Under -race this validates that every implementation's
+// publication path is torn-table free, not just the DFSM's.
+func TestPredictorHotSwapRacesObserve(t *testing.T) {
+	traceA, traceB := predictortest.Trace(1, 60), predictortest.Trace(2, 60)
+	sets := [][]hotprefetch.Stream{
+		predictortest.Streams(t, traceA),
+		predictortest.Streams(t, traceB),
+	}
+	for _, name := range hotprefetch.PredictorNames() {
+		if strings.HasPrefix(name, "test-") {
+			continue
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cm, err := hotprefetch.NewConcurrentPredictor(name, sets[0], 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for _, r := range traceA[:60] {
+							cm.Observe(r)
+						}
+						for _, r := range traceB[:60] {
+							cm.Observe(r)
+						}
+					}
+				}()
+			}
+			const swaps = 50
+			for i := 1; i <= swaps; i++ {
+				if err := cm.SwapNamed(name, sets[i%2], 2); err != nil {
+					t.Error(err)
+					break
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if got := cm.Swaps(); got != swaps {
+				t.Errorf("Swaps = %d, want %d", got, swaps)
+			}
+			if got := cm.Predictor(); got != name {
+				t.Errorf("published predictor = %q, want %q", got, name)
+			}
+			if cm.NumStates() < 2 {
+				t.Errorf("NumStates = %d after trained swaps, want >= 2", cm.NumStates())
+			}
+		})
+	}
+}
+
+// TestCrossPredictorSwapRacesObserve cycles the published implementation
+// through the whole zoo while observers run: a swap can change not just the
+// stream set but the predictor type, which is exactly what a Supervisor A/B
+// arm switch does mid-traffic.
+func TestCrossPredictorSwapRacesObserve(t *testing.T) {
+	trace := predictortest.Trace(3, 60)
+	streams := predictortest.Streams(t, trace)
+	names := []string{"dfsm", "markov", "stride"}
+	cm, err := hotprefetch.NewConcurrentPredictor(names[0], streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.EnableAccuracyTracking(256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range trace[:90] {
+					cm.Observe(r)
+				}
+			}
+		}()
+	}
+	const swaps = 60
+	for i := 1; i <= swaps; i++ {
+		if err := cm.SwapNamed(names[i%len(names)], streams, 2); err != nil {
+			t.Error(err)
+			break
+		}
+		// Mid-storm ledger reads must stay monotonic and bounded: the
+		// per-predictor sum lies between two surrounding total reads.
+		if i%10 == 0 {
+			loIssued, loHits := cm.AccuracyCounters()
+			var sumIssued, sumHits uint64
+			for _, pa := range cm.AccuracyByPredictor() {
+				sumIssued += pa.Issued
+				sumHits += pa.Hits
+			}
+			hiIssued, hiHits := cm.AccuracyCounters()
+			if sumIssued < loIssued || sumIssued > hiIssued {
+				t.Errorf("per-predictor issued sum %d outside [%d, %d]", sumIssued, loIssued, hiIssued)
+			}
+			if sumHits < loHits || sumHits > hiHits {
+				t.Errorf("per-predictor hits sum %d outside [%d, %d]", sumHits, loHits, hiHits)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// At quiescence the ledgers reconcile exactly: per-predictor counters
+	// sum to the totals, and every publication is attributed to a name.
+	var sumIssued, sumHits, sumSwaps uint64
+	byPred := cm.AccuracyByPredictor()
+	for _, pa := range byPred {
+		sumIssued += pa.Issued
+		sumHits += pa.Hits
+		sumSwaps += pa.Swaps
+	}
+	issued, hits := cm.AccuracyCounters()
+	if sumIssued != issued || sumHits != hits {
+		t.Fatalf("per-predictor ledgers (%d, %d) != totals (%d, %d)", sumIssued, sumHits, issued, hits)
+	}
+	// +1: the constructor's initial publication is in the books but is not
+	// a Swap.
+	if sumSwaps != swaps+1 {
+		t.Fatalf("per-predictor swap count %d, want %d", sumSwaps, swaps+1)
+	}
+	if len(byPred) != len(names) {
+		t.Fatalf("ledger names = %d, want %d: %+v", len(byPred), len(names), byPred)
+	}
+	if hits > issued {
+		t.Fatalf("hits %d > issued %d", hits, issued)
+	}
+}
+
+// TestStatsPredictorsReconcileUnderLoad attaches the matcher to a profile
+// and reads Stats while observers and cross-implementation swaps run: the
+// published Predictors split must always sum to within the surrounding
+// matcher totals (no cross-contamination, no lost windows).
+func TestStatsPredictorsReconcileUnderLoad(t *testing.T) {
+	trace := predictortest.Trace(4, 60)
+	streams := predictortest.Streams(t, trace)
+	sp, err := hotprefetch.NewShardedProfileConfig(hotprefetch.ShardedConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	cm, err := hotprefetch.NewConcurrentPredictor("dfsm", streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm.EnableAccuracyTracking(256)
+	sp.AttachMatcher(cm)
+
+	names := []string{"dfsm", "markov", "stride"}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range trace[:90] {
+					cm.Observe(r)
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 30; i++ {
+		if err := cm.SwapNamed(names[i%len(names)], streams, 2); err != nil {
+			t.Fatal(err)
+		}
+		loIssued, _ := cm.AccuracyCounters()
+		st := sp.Stats()
+		hiIssued, _ := cm.AccuracyCounters()
+		if st.MatcherPredictor == "" {
+			t.Fatal("Stats.MatcherPredictor empty with a matcher attached")
+		}
+		var sumIssued uint64
+		for _, pa := range st.Predictors {
+			sumIssued += pa.Issued
+		}
+		if sumIssued < loIssued || sumIssued > hiIssued {
+			t.Fatalf("Stats.Predictors issued sum %d outside [%d, %d]", sumIssued, loIssued, hiIssued)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := sp.Stats()
+	issued, _ := cm.AccuracyCounters()
+	var sumIssued uint64
+	for _, pa := range st.Predictors {
+		sumIssued += pa.Issued
+	}
+	if sumIssued != issued {
+		t.Fatalf("quiescent Stats.Predictors issued sum %d != matcher total %d", sumIssued, issued)
+	}
+}
